@@ -1,0 +1,34 @@
+//! Sparse attention engines for AlayaDB.
+//!
+//! Every method compared in the paper's evaluation (Table 5, Figure 9) is
+//! implemented here behind one interface, [`SparseAttention`]: given a query
+//! vector and one head's KV context, an engine *selects* the tokens to
+//! attend to, and the shared **data-centric attention** path
+//! ([`partial::attend_selected`]) computes the output by merging partial
+//! attention over the GPU-cached window with partial attention over the
+//! CPU-retrieved tokens (FlashAttention-style log-sum-exp aggregation,
+//! §7.2).
+//!
+//! Engines:
+//!
+//! * [`FullAttention`] — every token (the quality reference; ① coupled
+//!   architecture),
+//! * [`StreamingLlm`] — attention sinks: initial + last window only,
+//! * [`InfLlm`] — coarse block retrieval + window (the `TopK + Coarse`
+//!   optimizer plan),
+//! * [`TopKRetrieval`] — graph-index top-k + window (RetrievalAttention;
+//!   the `TopK + Fine` plan),
+//! * [`DiprsAttention`] — the paper's DIPR query via DIPRS + window, with
+//!   window-seeded pruning (the `DIPR + Fine`/`DIPR + Flat` plans).
+
+pub mod context;
+pub mod engines;
+pub mod partial;
+pub mod window;
+
+pub use context::HeadContext;
+pub use engines::{
+    DiprsAttention, FullAttention, InfLlm, SparseAttention, StreamingLlm, TopKRetrieval,
+};
+pub use partial::{attend_all, attend_selected, AttendOutput};
+pub use window::WindowSpec;

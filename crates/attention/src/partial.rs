@@ -1,0 +1,172 @@
+//! Data-centric attention: compute partial attention where the data lives,
+//! aggregate with log-sum-exp (§7.2).
+//!
+//! Rather than gathering retrieved vectors to one device and running a
+//! monolithic kernel, AlayaDB computes partial attention over the GPU-cached
+//! window and over the CPU-resident retrieved tokens independently and
+//! merges the two partial results. [`alaya_vector::OnlineSoftmax::merge`]
+//! implements the exact FlashAttention aggregation identity, so the merged
+//! output equals full softmax attention over the union of the partitions.
+
+use alaya_vector::softmax::OnlineSoftmax;
+use alaya_vector::VecStore;
+
+use crate::window::WindowSpec;
+
+/// Result of one sparse attention computation.
+#[derive(Clone, Debug)]
+pub struct AttendOutput {
+    /// The attention output vector `o_i`.
+    pub out: Vec<f32>,
+    /// Distinct tokens attended to (window ∪ retrieved).
+    pub n_attended: usize,
+    /// Maximum scaled attention logit observed (useful for diagnostics and
+    /// window seeding).
+    pub max_logit: f32,
+}
+
+/// Partial attention over an explicit id set, returned as a mergeable
+/// accumulator.
+pub fn partial_softmax(
+    q: &[f32],
+    keys: &VecStore,
+    values: &VecStore,
+    scale: f32,
+    ids: impl IntoIterator<Item = u32>,
+) -> OnlineSoftmax {
+    let mut acc = OnlineSoftmax::new(values.dim());
+    for id in ids {
+        let score = keys.dot_row(q, id as usize) * scale;
+        acc.push(score, values.row(id as usize));
+    }
+    acc
+}
+
+/// Data-centric sparse attention: window partition + retrieved partition,
+/// merged. `retrieved` ids falling inside the window are skipped so no token
+/// is double-counted.
+pub fn attend_selected(
+    q: &[f32],
+    keys: &VecStore,
+    values: &VecStore,
+    scale: f32,
+    window: WindowSpec,
+    retrieved: &[u32],
+) -> AttendOutput {
+    let n = keys.len();
+
+    // "GPU" partition: the cached window.
+    let window_acc = partial_softmax(q, keys, values, scale, window.token_ids(n));
+    let window_len = window.len(n);
+
+    // "CPU" partition: retrieved tokens outside the window. Selection has
+    // set semantics: duplicates (within `retrieved` or against the window)
+    // must not double-weight a token's value.
+    let mut extra = 0usize;
+    let mut cpu_acc = OnlineSoftmax::new(values.dim());
+    let mut seen = vec![false; if retrieved.is_empty() { 0 } else { n }];
+    for &id in retrieved {
+        debug_assert!((id as usize) < n, "retrieved id out of range");
+        if window.contains(id as usize, n) || seen[id as usize] {
+            continue;
+        }
+        seen[id as usize] = true;
+        extra += 1;
+        let score = keys.dot_row(q, id as usize) * scale;
+        cpu_acc.push(score, values.row(id as usize));
+    }
+
+    // Aggregation (Equation (1) over the union, via LSE merge).
+    let mut merged = window_acc;
+    merged.merge(&cpu_acc);
+    AttendOutput {
+        out: merged.output(),
+        n_attended: window_len + extra,
+        max_logit: merged.max_score(),
+    }
+}
+
+/// Dense reference: attention over every token (the coupled-architecture
+/// baseline and the quality ceiling).
+pub fn attend_all(q: &[f32], keys: &VecStore, values: &VecStore, scale: f32) -> AttendOutput {
+    let acc = partial_softmax(q, keys, values, scale, 0..keys.len() as u32);
+    AttendOutput { out: acc.output(), n_attended: keys.len(), max_logit: acc.max_score() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_vector::rng::{gaussian_store, gaussian_vec, seeded};
+    use alaya_vector::VecStore;
+
+    fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn selecting_everything_equals_full_attention() {
+        let mut rng = seeded(8);
+        let keys = gaussian_store(&mut rng, 64, 8, 1.0);
+        let values = gaussian_store(&mut rng, 64, 8, 1.0);
+        let q = gaussian_vec(&mut rng, 8, 1.0);
+        let scale = 1.0 / 8f32.sqrt();
+
+        let full = attend_all(&q, &keys, &values, scale);
+        // Window covers some, retrieval covers the rest.
+        let window = WindowSpec::new(8, 8);
+        let rest: Vec<u32> = (0..64u32).filter(|&i| !window.contains(i as usize, 64)).collect();
+        let sparse = attend_selected(&q, &keys, &values, scale, window, &rest);
+
+        assert!(close(&full.out, &sparse.out, 1e-4), "data-centric merge must be exact");
+        assert_eq!(sparse.n_attended, 64);
+        assert!((full.max_logit - sparse.max_logit).abs() < 1e-5);
+    }
+
+    #[test]
+    fn duplicate_ids_in_window_not_double_counted() {
+        let mut rng = seeded(9);
+        let keys = gaussian_store(&mut rng, 32, 4, 1.0);
+        let values = gaussian_store(&mut rng, 32, 4, 1.0);
+        let q = gaussian_vec(&mut rng, 4, 1.0);
+        let window = WindowSpec::new(4, 4);
+
+        // Pass window ids also as "retrieved": output must equal window-only.
+        let window_ids: Vec<u32> = window.token_ids(32).collect();
+        let a = attend_selected(&q, &keys, &values, 0.5, window, &window_ids);
+        let b = attend_selected(&q, &keys, &values, 0.5, window, &[]);
+        assert!(close(&a.out, &b.out, 1e-6));
+        assert_eq!(a.n_attended, b.n_attended);
+    }
+
+    #[test]
+    fn retrieval_of_high_scoring_token_shifts_output() {
+        // One key matches q exactly and carries a distinctive value.
+        let mut keys = VecStore::new(4);
+        let mut values = VecStore::new(4);
+        for i in 0..32 {
+            if i == 16 {
+                keys.push(&[10.0, 0.0, 0.0, 0.0]);
+                values.push(&[100.0, 0.0, 0.0, 0.0]);
+            } else {
+                keys.push(&[0.0, 0.1, 0.0, 0.0]);
+                values.push(&[0.0, 1.0, 0.0, 0.0]);
+            }
+        }
+        let q = [1.0, 0.0, 0.0, 0.0];
+        let window = WindowSpec::new(2, 2);
+
+        let without = attend_selected(&q, &keys, &values, 1.0, window, &[]);
+        let with = attend_selected(&q, &keys, &values, 1.0, window, &[16]);
+        assert!(with.out[0] > 90.0, "critical token dominates: {:?}", with.out);
+        assert!(without.out[0] < 1.0, "missing token leaves mass on window: {:?}", without.out);
+    }
+
+    #[test]
+    fn empty_everything_returns_zero() {
+        let keys = VecStore::new(4);
+        let values = VecStore::new(4);
+        let out = attend_selected(&[0.0; 4], &keys, &values, 1.0, WindowSpec::new(2, 2), &[]);
+        assert_eq!(out.out, vec![0.0; 4]);
+        assert_eq!(out.n_attended, 0);
+    }
+}

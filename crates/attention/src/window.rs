@@ -1,0 +1,106 @@
+//! The cached token window (§7.1 "Window Caching Enhanced DIPR").
+//!
+//! Sparse attention methods universally retain a window of *initial* tokens
+//! (attention sinks) and *last* tokens (local context) in GPU memory; those
+//! tokens carry outsized attention weight. AlayaDB additionally exploits the
+//! window to seed DIPRS: the maximum inner product very often lives inside
+//! the window (98% of the time on the paper's math_find probe), so scanning
+//! the window first gives the search a near-final pruning threshold upfront.
+
+/// A `[initial + last]` window specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Tokens kept from the start of the context (attention sinks).
+    pub initial: usize,
+    /// Tokens kept from the end of the context (local window).
+    pub last: usize,
+}
+
+impl WindowSpec {
+    /// Creates a window spec.
+    pub fn new(initial: usize, last: usize) -> Self {
+        Self { initial, last }
+    }
+
+    /// The paper's Table 5 setting for Top-k and DIPRS: `[128+512]`.
+    pub fn paper_default() -> Self {
+        Self { initial: 128, last: 512 }
+    }
+
+    /// Total window tokens for a context of `n` (never exceeds `n`).
+    pub fn len(&self, n: usize) -> usize {
+        (self.initial + self.last).min(n)
+    }
+
+    /// Whether the window covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.initial == 0 && self.last == 0
+    }
+
+    /// Whether token `id` of a length-`n` context falls inside the window.
+    #[inline]
+    pub fn contains(&self, id: usize, n: usize) -> bool {
+        if self.initial + self.last >= n {
+            return id < n;
+        }
+        id < self.initial || id >= n - self.last
+    }
+
+    /// Iterates the window's token ids for a length-`n` context, ascending,
+    /// without duplicates when the halves overlap.
+    pub fn token_ids(&self, n: usize) -> impl Iterator<Item = u32> + '_ {
+        let init_end = self.initial.min(n);
+        let tail_start = n.saturating_sub(self.last).max(init_end);
+        (0..init_end as u32).chain(tail_start as u32..n as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_cover_both_ends() {
+        let w = WindowSpec::new(2, 3);
+        let ids: Vec<u32> = w.token_ids(10).collect();
+        assert_eq!(ids, vec![0, 1, 7, 8, 9]);
+        assert_eq!(w.len(10), 5);
+    }
+
+    #[test]
+    fn overlapping_window_covers_everything_once() {
+        let w = WindowSpec::new(4, 4);
+        let ids: Vec<u32> = w.token_ids(6).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(w.len(6), 6);
+    }
+
+    #[test]
+    fn contains_matches_token_ids() {
+        for (init, last, n) in [(2usize, 3usize, 10usize), (4, 4, 6), (0, 2, 5), (3, 0, 5), (0, 0, 4)] {
+            let w = WindowSpec::new(init, last);
+            let ids: std::collections::HashSet<u32> = w.token_ids(n).collect();
+            for id in 0..n {
+                assert_eq!(
+                    w.contains(id, n),
+                    ids.contains(&(id as u32)),
+                    "w=({init},{last}) n={n} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = WindowSpec::new(0, 0);
+        assert!(w.is_empty());
+        assert_eq!(w.token_ids(10).count(), 0);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let w = WindowSpec::paper_default();
+        assert_eq!((w.initial, w.last), (128, 512));
+        assert_eq!(w.len(100_000), 640);
+    }
+}

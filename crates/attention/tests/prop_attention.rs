@@ -1,0 +1,101 @@
+//! Property tests for the data-centric attention invariants.
+
+use alaya_attention::{attend_all, attend_selected, WindowSpec};
+use alaya_vector::VecStore;
+use proptest::prelude::*;
+
+fn kv_strategy() -> impl Strategy<Value = (VecStore, VecStore, Vec<f32>)> {
+    (2usize..48, 2usize..6).prop_flat_map(|(n, dim)| {
+        (
+            prop::collection::vec(-4.0f32..4.0, n * dim),
+            prop::collection::vec(-4.0f32..4.0, n * dim),
+            prop::collection::vec(-4.0f32..4.0, dim),
+        )
+            .prop_map(move |(k, v, q)| {
+                (VecStore::from_flat(dim, k), VecStore::from_flat(dim, v), q)
+            })
+    })
+}
+
+proptest! {
+    /// The core data-centric invariant: window partition + "retrieved
+    /// everything else" merged via log-sum-exp equals monolithic full
+    /// attention, for any window shape.
+    #[test]
+    fn union_selection_equals_full_attention(
+        (keys, values, q) in kv_strategy(),
+        init in 0usize..16,
+        last in 0usize..16,
+    ) {
+        let n = keys.len();
+        let window = WindowSpec::new(init, last);
+        let rest: Vec<u32> =
+            (0..n as u32).filter(|&i| !window.contains(i as usize, n)).collect();
+        let scale = 1.0 / (keys.dim() as f32).sqrt();
+
+        let full = attend_all(&q, &keys, &values, scale);
+        let merged = attend_selected(&q, &keys, &values, scale, window, &rest);
+
+        prop_assert_eq!(merged.n_attended, n);
+        for (a, b) in full.out.iter().zip(&merged.out) {
+            prop_assert!((a - b).abs() < 1e-3, "{:?} vs {:?}", full.out, merged.out);
+        }
+        prop_assert!((full.max_logit - merged.max_logit).abs() < 1e-4);
+    }
+
+    /// Retrieved duplicates and window overlaps never change the output:
+    /// attention is a function of the attended *set*.
+    #[test]
+    fn selection_is_set_semantics(
+        (keys, values, q) in kv_strategy(),
+        dup_factor in 1usize..4,
+    ) {
+        let n = keys.len();
+        let window = WindowSpec::new(2, 2);
+        let ids: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let mut dups = Vec::new();
+        for _ in 0..dup_factor {
+            dups.extend(ids.iter().cloned());
+        }
+        let scale = 0.5;
+        let once = attend_selected(&q, &keys, &values, scale, window, &ids);
+        let many = attend_selected(&q, &keys, &values, scale, window, &dups);
+        prop_assert_eq!(once.n_attended, many.n_attended);
+        for (a, b) in once.out.iter().zip(&many.out) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Attention outputs stay inside the convex hull of the attended value
+    /// vectors (coordinate-wise bounding box), a basic softmax sanity law.
+    #[test]
+    fn output_in_value_hull((keys, values, q) in kv_strategy()) {
+        let scale = 1.0 / (keys.dim() as f32).sqrt();
+        let out = attend_all(&q, &keys, &values, scale);
+        for d in 0..values.dim() {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for i in 0..values.len() {
+                lo = lo.min(values.row(i)[d]);
+                hi = hi.max(values.row(i)[d]);
+            }
+            prop_assert!(out.out[d] >= lo - 1e-4 && out.out[d] <= hi + 1e-4);
+        }
+    }
+
+    /// Window accounting: n_attended equals the size of the attended set.
+    #[test]
+    fn n_attended_is_exact(
+        (keys, values, q) in kv_strategy(),
+        init in 0usize..8,
+        last in 0usize..8,
+        stride in 1usize..5,
+    ) {
+        let n = keys.len();
+        let window = WindowSpec::new(init, last);
+        let retrieved: Vec<u32> = (0..n as u32).step_by(stride).collect();
+        let out = attend_selected(&q, &keys, &values, 0.3, window, &retrieved);
+        let mut set: std::collections::HashSet<u32> = window.token_ids(n).collect();
+        set.extend(retrieved.iter());
+        prop_assert_eq!(out.n_attended, set.len());
+    }
+}

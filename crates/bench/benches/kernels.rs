@@ -1,0 +1,86 @@
+//! Microbenchmarks of the numeric kernels every query touches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use alaya_vector::rng::{gaussian_store, gaussian_vec, seeded};
+use alaya_vector::softmax::{softmax_in_place, OnlineSoftmax};
+use alaya_vector::{dot, top_k_indices};
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for dim in [32usize, 128, 1024] {
+        let mut rng = seeded(1);
+        let a = gaussian_vec(&mut rng, dim, 1.0);
+        let b = gaussian_vec(&mut rng, dim, 1.0);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| dot(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_scoring(c: &mut Criterion) {
+    // A flat-index pass over one head's keys: the unit of work behind the
+    // optimizer's "Flat" choice.
+    let mut group = c.benchmark_group("flat_scan");
+    for n in [1_000usize, 10_000] {
+        let mut rng = seeded(2);
+        let keys = gaussian_store(&mut rng, n, 128, 1.0);
+        let q = gaussian_vec(&mut rng, 128, 1.0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                top_k_indices((0..n).map(|i| keys.dot_row(std::hint::black_box(&q), i)), 100)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    for n in [640usize, 8_192] {
+        let mut rng = seeded(3);
+        let scores = gaussian_vec(&mut rng, n, 2.0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("in_place", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut s = scores.clone();
+                softmax_in_place(&mut s);
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_softmax_merge(c: &mut Criterion) {
+    // The data-centric aggregation step: merging window and retrieved
+    // partitions.
+    let mut rng = seeded(4);
+    let dim = 128;
+    let values = gaussian_store(&mut rng, 1024, dim, 1.0);
+    let scores = gaussian_vec(&mut rng, 1024, 2.0);
+    c.bench_function("online_softmax_partition_merge", |bench| {
+        bench.iter(|| {
+            let mut a = OnlineSoftmax::new(dim);
+            let mut b = OnlineSoftmax::new(dim);
+            for (i, &score) in scores.iter().enumerate().take(512) {
+                a.push(score, values.row(i));
+            }
+            for (i, &score) in scores.iter().enumerate().skip(512) {
+                b.push(score, values.row(i));
+            }
+            a.merge(&b);
+            a.output()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dot, bench_scan_scoring, bench_softmax, bench_online_softmax_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Search-latency microbenchmarks: the index-type trade-offs of Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alaya_index::coarse::{BlockScoring, CoarseIndex};
+use alaya_index::flat::FlatIndex;
+use alaya_index::graph::SearchParams;
+use alaya_index::hnsw::{Hnsw, HnswParams};
+use alaya_index::roargraph::{RoarGraph, RoarGraphParams};
+use alaya_query::diprs::{diprs, DiprsParams};
+use alaya_vector::rng::{gaussian_store, seeded};
+use alaya_vector::VecStore;
+
+fn fixture(n: usize, dim: usize) -> (VecStore, VecStore, VecStore) {
+    let mut rng = seeded(11);
+    let keys = gaussian_store(&mut rng, n, dim, 1.0);
+    let train = gaussian_store(&mut rng, n / 3, dim, 1.0);
+    let queries = gaussian_store(&mut rng, 64, dim, 1.0);
+    (keys, train, queries)
+}
+
+/// Table 4's latency columns: flat vs fine (graph) vs coarse at small and
+/// large k.
+fn bench_index_types(c: &mut Criterion) {
+    let n = 20_000;
+    let dim = 32;
+    let (keys, train, queries) = fixture(n, dim);
+    let rg = RoarGraph::build(&keys, &train, RoarGraphParams::default());
+    let coarse = CoarseIndex::build(&keys, 64, BlockScoring::Representatives { reps: 4 });
+
+    let mut group = c.benchmark_group("index_types");
+    for k in [100usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("flat", k), &k, |b, &k| {
+            let mut qi = 0;
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                FlatIndex.search_topk(&keys, queries.row(qi), k)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fine_graph", k), &k, |b, &k| {
+            let mut qi = 0;
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                rg.search_topk(&keys, queries.row(qi), k, SearchParams { ef: k + k / 4 })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coarse_blocks", k), &k, |b, &k| {
+            let mut qi = 0;
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                coarse.select_tokens(queries.row(qi), k.div_ceil(64))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DIPRS vs graph top-k at equivalent result sizes.
+fn bench_diprs_vs_topk(c: &mut Criterion) {
+    let n = 20_000;
+    let dim = 32;
+    let (keys, train, queries) = fixture(n, dim);
+    let rg = RoarGraph::build(&keys, &train, RoarGraphParams::default());
+    let graph = rg.graph();
+
+    let mut group = c.benchmark_group("diprs_vs_topk");
+    group.bench_function("diprs_beta2", |b| {
+        let params = DiprsParams { beta: 2.0 * (dim as f32).sqrt(), l0: 64, max_visits: usize::MAX };
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            diprs(graph, &keys, queries.row(qi), &params, None)
+        })
+    });
+    group.bench_function("graph_top100", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            graph.search_topk(&keys, queries.row(qi), 100, SearchParams { ef: 160 })
+        })
+    });
+    group.finish();
+}
+
+/// HNSW as the classic baseline builder/searcher.
+fn bench_hnsw(c: &mut Criterion) {
+    let (keys, _, queries) = fixture(10_000, 32);
+    let hnsw = Hnsw::build(&keys, HnswParams::default());
+    c.bench_function("hnsw_top100", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            hnsw.search_topk(&keys, queries.row(qi), 100, SearchParams { ef: 160 })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_index_types, bench_diprs_vs_topk, bench_hnsw
+}
+criterion_main!(benches);

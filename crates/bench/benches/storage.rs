@@ -1,0 +1,88 @@
+//! Storage-engine microbenchmarks: buffer-manager hit paths and vector-file
+//! I/O (§7.3).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use alaya_index::flat::FlatIndex;
+use alaya_storage::{
+    BlockDevice, BlockKind, BufferManager, BufferedVectorSource, MemDevice, VectorFile,
+};
+use alaya_vector::rng::{gaussian_store, gaussian_vec, seeded};
+
+fn bench_buffer_pin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pin");
+    // Hot: everything fits. Cold: pool of 8 frames cycling 64 blocks.
+    for (name, frames) in [("hit", 128usize), ("evict", 8)] {
+        let mgr = BufferManager::new(frames);
+        let dev = Arc::new(MemDevice::new(4096));
+        dev.grow(64).unwrap();
+        let fid = mgr.register(dev);
+        group.bench_function(BenchmarkId::new("pin", name), |b| {
+            let mut block = 0u64;
+            b.iter(|| {
+                block = (block + 1) % 64;
+                let g = mgr.pin(fid, block, BlockKind::Data).unwrap();
+                g.read(|buf| buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_file(c: &mut Criterion) {
+    let dim = 128usize;
+    let mut rng = seeded(5);
+    let vector = gaussian_vec(&mut rng, dim, 1.0);
+
+    c.bench_function("vector_file_append", |b| {
+        let mgr = BufferManager::new(64);
+        let file = VectorFile::create(mgr, Arc::new(MemDevice::new(4096)), dim).unwrap();
+        b.iter(|| file.append(&vector).unwrap())
+    });
+
+    let mgr = BufferManager::new(64);
+    let file = VectorFile::create(mgr, Arc::new(MemDevice::new(4096)), dim).unwrap();
+    for _ in 0..10_000 {
+        file.append(&vector).unwrap();
+    }
+    let q = gaussian_vec(&mut rng, dim, 1.0);
+    c.bench_function("vector_file_score", |b| {
+        let mut id = 0u32;
+        b.iter(|| {
+            id = (id + 1) % 10_000;
+            file.score(&q, id).unwrap()
+        })
+    });
+}
+
+/// Flat top-k over memory vs over the buffer pool — the cost of running
+/// the same query on a disk-resident head.
+fn bench_scan_disk_vs_memory(c: &mut Criterion) {
+    let dim = 64usize;
+    let n = 10_000usize;
+    let mut rng = seeded(6);
+    let keys = gaussian_store(&mut rng, n, dim, 1.0);
+    let q = gaussian_vec(&mut rng, dim, 1.0);
+
+    let mgr = BufferManager::new(1024);
+    let file = VectorFile::create(mgr, Arc::new(MemDevice::new(4096)), dim).unwrap();
+    for row in keys.iter() {
+        file.append(row).unwrap();
+    }
+    let disk = BufferedVectorSource::new(Arc::new(file));
+
+    let mut group = c.benchmark_group("flat_top100");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("memory", |b| b.iter(|| FlatIndex.search_topk(&keys, &q, 100)));
+    group.bench_function("buffer_pool", |b| b.iter(|| FlatIndex.search_topk(&disk, &q, 100)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_buffer_pin, bench_vector_file, bench_scan_disk_vs_memory
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Paper-scale TPOT model: measured CPU costs + modeled GPU costs.
+//!
+//! The quality experiments run at reduced context scale on this machine;
+//! the SLO column of Table 5, however, is about serving Llama-3-8B on an
+//! L20 at 43.9K–192.6K-token contexts. This module converts each method's
+//! *structure* (GPU-resident tokens, CPU-scored nodes per head) into a
+//! paper-scale TPOT:
+//!
+//! * GPU side — weights GEMV + attention over the GPU-resident tokens,
+//!   from [`alaya_device::CostModel`] (memory-bandwidth bound).
+//! * CPU side — graph retrieval is random-access bound: every scored node
+//!   touches `head_dim · bytes_per_elem` of cold memory plus its adjacency
+//!   entries; heads/layers parallelize across cores, leaving the aggregate
+//!   bound by the host's effective random-access bandwidth.
+//!
+//! Constants are documented here and in EXPERIMENTS.md; absolute numbers
+//! are approximations, the *orderings* (full attention ✗, Top-2000 ✗,
+//! Top-100/DIPRS/InfLLM/StreamingLLM ✓) are the reproduced claim.
+
+use alaya_device::cost::CostModel;
+
+/// Effective host random-access bandwidth during graph traversal. DDR5
+/// streams ~666 GB/s on this class of machine, but pointer-chasing over a
+/// multi-GB index realizes a small fraction of it; 25 GB/s is a standard
+/// planning figure for cache-hostile access on a dual-socket server.
+pub const CPU_RANDOM_ACCESS_BW: f64 = 25e9;
+
+/// Bytes touched per scored node beyond the vector itself (adjacency-list
+/// entry loads and bookkeeping).
+pub const TRAVERSAL_OVERHEAD_BYTES: f64 = 64.0;
+
+/// Per-method structural inputs to the TPOT model.
+#[derive(Clone, Copy, Debug)]
+pub struct TpotInputs {
+    /// Tokens whose KV is resident on (and attended by) the GPU.
+    pub gpu_tokens: usize,
+    /// Nodes scored on the CPU per (layer, KV-head) retrieval; 0 for
+    /// methods that retrieve nothing or retrieve on-GPU.
+    pub cpu_scored_per_head: usize,
+    /// Tokens gathered on the CPU for retrieved-token attention.
+    pub cpu_attended_per_head: usize,
+}
+
+/// Models one decode step's latency at paper scale.
+pub fn modeled_tpot(inputs: &TpotInputs, cost: &CostModel) -> f64 {
+    let gpu = cost.decode_step_time(inputs.gpu_tokens);
+
+    let vec_bytes = (cost.shape.head_dim * cost.shape.bytes_per_elem) as f64;
+    let per_head_bytes = inputs.cpu_scored_per_head as f64
+        * (vec_bytes + TRAVERSAL_OVERHEAD_BYTES)
+        // Retrieved-token attention touches K and V once each.
+        + inputs.cpu_attended_per_head as f64 * 2.0 * vec_bytes;
+    // One retrieval per (layer, *query* head): GQA shares the index across
+    // a group, but each query head's query vector searches it separately.
+    // The head dimension parallelizes across cores, so wall time is
+    // aggregate bytes over aggregate random-access bandwidth.
+    let total_bytes = (cost.shape.n_layers * cost.shape.n_q_heads) as f64 * per_head_bytes;
+    let cpu = total_bytes / CPU_RANDOM_ACCESS_BW;
+
+    gpu + cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_device::slo::Slo;
+
+    fn cost() -> CostModel {
+        CostModel::paper_rig()
+    }
+
+    #[test]
+    fn full_attention_violates_slo_on_long_contexts() {
+        // Full attention over the longest ∞-Bench task (~192.6K tokens).
+        let t = modeled_tpot(
+            &TpotInputs { gpu_tokens: 192_600, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &cost(),
+        );
+        assert!(!Slo::reading_speed().check(0.0, t).satisfied(), "full attention TPOT {t}");
+        // ...but is comfortable at 40K.
+        let t40 = modeled_tpot(
+            &TpotInputs { gpu_tokens: 40_000, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &cost(),
+        );
+        assert!(Slo::reading_speed().check(0.0, t40).satisfied(), "40K TPOT {t40}");
+    }
+
+    #[test]
+    fn top2000_violates_but_top100_passes() {
+        // Graph retrieval scores ~10 nodes per returned token.
+        let top2000 = modeled_tpot(
+            &TpotInputs {
+                gpu_tokens: 640,
+                cpu_scored_per_head: 20_000,
+                cpu_attended_per_head: 2_000,
+            },
+            &cost(),
+        );
+        let top100 = modeled_tpot(
+            &TpotInputs {
+                gpu_tokens: 640,
+                cpu_scored_per_head: 1_000,
+                cpu_attended_per_head: 100,
+            },
+            &cost(),
+        );
+        let slo = Slo::reading_speed();
+        assert!(!slo.check(0.0, top2000).satisfied(), "top2000 TPOT {top2000}");
+        assert!(slo.check(0.0, top100).satisfied(), "top100 TPOT {top100}");
+    }
+
+    #[test]
+    fn window_only_methods_comfortably_pass() {
+        let stream = modeled_tpot(
+            &TpotInputs { gpu_tokens: 8_320, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &cost(),
+        );
+        assert!(stream < 0.1, "streaming TPOT {stream}");
+    }
+
+    #[test]
+    fn monotone_in_every_input() {
+        let c = cost();
+        let base =
+            TpotInputs { gpu_tokens: 1000, cpu_scored_per_head: 1000, cpu_attended_per_head: 100 };
+        let t0 = modeled_tpot(&base, &c);
+        for delta in [
+            TpotInputs { gpu_tokens: 2000, ..base },
+            TpotInputs { cpu_scored_per_head: 2000, ..base },
+            TpotInputs { cpu_attended_per_head: 500, ..base },
+        ] {
+            assert!(modeled_tpot(&delta, &c) > t0);
+        }
+    }
+}

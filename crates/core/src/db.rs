@@ -1,0 +1,270 @@
+//! The `DB` abstraction: the manager of all stored contexts (Table 2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use alaya_device::memory::MemoryTracker;
+use alaya_llm::kv::KvCache;
+use parking_lot::RwLock;
+
+use crate::config::DbConfig;
+use crate::session::Session;
+use crate::stored::{ContextId, QueryReservoir, StoredContext};
+
+/// An AlayaDB instance: stored contexts (prompts, KV caches, vector
+/// indexes) plus the machinery to open sessions against them.
+pub struct Db {
+    cfg: DbConfig,
+    contexts: RwLock<Vec<Arc<StoredContext>>>,
+    next_id: AtomicU64,
+}
+
+impl Db {
+    /// Opens an empty database.
+    pub fn new(cfg: DbConfig) -> Self {
+        cfg.model.validate();
+        Self { cfg, contexts: RwLock::new(Vec::new()), next_id: AtomicU64::new(0) }
+    }
+
+    /// The database configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The GPU budget tracker the optimizer probes.
+    pub fn gpu(&self) -> &Arc<MemoryTracker> {
+        &self.cfg.gpu
+    }
+
+    /// Number of stored contexts.
+    pub fn n_contexts(&self) -> usize {
+        self.contexts.read().len()
+    }
+
+    /// Fetches a stored context by id.
+    pub fn context(&self, id: ContextId) -> Option<Arc<StoredContext>> {
+        self.contexts.read().iter().find(|c| c.id == id).cloned()
+    }
+
+    /// `DB.create_session(prompts)`: opens a session, reusing the longest
+    /// common token prefix among stored contexts. Returns the session and
+    /// the *truncated* prompt — the suffix the engine still has to prefill
+    /// (always at least one token, so the engine can produce logits).
+    pub fn create_session(&self, prompt: &[u32]) -> (Session, Vec<u32>) {
+        assert!(!prompt.is_empty(), "prompt must contain at least one token");
+        let contexts = self.contexts.read();
+        let best = contexts
+            .iter()
+            .map(|c| (c.common_prefix_len(prompt), c))
+            .max_by_key(|(lcp, _)| *lcp)
+            .filter(|(lcp, _)| *lcp > 0);
+
+        match best {
+            Some((lcp, ctx)) => {
+                // Keep at least one prompt token for the engine.
+                let reused = lcp.min(prompt.len() - 1);
+                if reused == 0 {
+                    return (Session::new(self.cfg.clone(), None, 0), prompt.to_vec());
+                }
+                let session = Session::new(self.cfg.clone(), Some(Arc::clone(ctx)), reused);
+                (session, prompt[reused..].to_vec())
+            }
+            None => (Session::new(self.cfg.clone(), None, 0), prompt.to_vec()),
+        }
+    }
+
+    /// `DB.import(prompts, kv_cache)`: registers an externally computed
+    /// context (e.g. prefilled by another engine instance) for reuse.
+    /// Indexes are trained from sampled keys (no query samples available).
+    pub fn import(&self, tokens: Vec<u32>, kv: KvCache) -> ContextId {
+        self.import_with_queries(tokens, kv, None)
+    }
+
+    /// [`Db::import`] with decode-distribution query samples for index
+    /// training (higher fine-index recall; this is what `DB.store` uses).
+    pub fn import_with_queries(
+        &self,
+        tokens: Vec<u32>,
+        kv: KvCache,
+        queries: Option<&QueryReservoir>,
+    ) -> ContextId {
+        assert_eq!(
+            tokens.len(),
+            kv.seq_len(0),
+            "token sequence and KV cache must have equal length"
+        );
+        let id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let ctx = StoredContext::build(id, tokens, kv, queries, &self.cfg);
+        self.contexts.write().push(Arc::new(ctx));
+        id
+    }
+
+    /// Adopts an externally assembled context (e.g. one loaded from the
+    /// vector file system by [`crate::persist::load_context`]) into this
+    /// DB's reuse pool. The context keeps its original id if it does not
+    /// collide; otherwise it is re-numbered.
+    pub fn adopt(&self, mut ctx: StoredContext) -> ContextId {
+        let mut contexts = self.contexts.write();
+        if contexts.iter().any(|c| c.id == ctx.id) {
+            ctx.id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        } else {
+            // Keep the allocator ahead of adopted ids.
+            self.next_id.fetch_max(ctx.id.0 + 1, Ordering::Relaxed);
+        }
+        let id = ctx.id;
+        contexts.push(Arc::new(ctx));
+        id
+    }
+
+    /// `DB.store(session)`: materializes the session's full state — reused
+    /// prefix plus the session-local window — into a new stored, indexed
+    /// context (the late-materialization point, §7.2).
+    ///
+    /// # Panics
+    /// Panics if the session's noted tokens do not cover its full sequence
+    /// (call [`Session::note_tokens`] during generation).
+    pub fn store(&self, session: &Session) -> ContextId {
+        let total = session.total_len();
+        // The final generated token is sampled but not yet forward-passed,
+        // so its KV does not exist; tolerate exactly that off-by-one.
+        assert!(
+            session.tokens().len() == total || session.tokens().len() == total + 1,
+            "session knows {} tokens but holds {} positions; call note_tokens()",
+            session.tokens().len(),
+            total
+        );
+
+        // Merge prefix KV + local KV into one cache.
+        let model = &self.cfg.model;
+        let mut kv = match session.base() {
+            Some(base) => base.kv.prefix(session.reused_len()),
+            None => KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim),
+        };
+        let local = session.local_kv();
+        for layer in 0..model.n_layers {
+            debug_assert_eq!(local.seq_len(layer), session.local_len());
+            for kvh in 0..model.n_kv_heads {
+                let src = local.head(layer, kvh);
+                let dst = kv.head_mut(layer, kvh);
+                for j in 0..src.len() {
+                    dst.push(src.keys.row(j), src.values.row(j));
+                }
+            }
+        }
+
+        self.import_with_queries(
+            session.tokens()[..total].to_vec(),
+            kv,
+            Some(session.query_samples()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_llm::{FullKvBackend, Model, ModelConfig};
+
+    fn db() -> (Db, Model) {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        (db, Model::new(model_cfg))
+    }
+
+    /// Prefills `tokens` with the full backend and imports the KV into `db`.
+    fn import_context(db: &Db, model: &Model, tokens: &[u32]) -> ContextId {
+        let mut backend = FullKvBackend::new(model.config());
+        model.prefill(tokens, 0, &mut backend);
+        db.import(tokens.to_vec(), backend.into_cache())
+    }
+
+    #[test]
+    fn empty_db_session_reuses_nothing() {
+        let (db, _) = db();
+        let prompt: Vec<u32> = (0..10).collect();
+        let (session, truncated) = db.create_session(&prompt);
+        assert_eq!(session.reused_len(), 0);
+        assert_eq!(truncated, prompt);
+    }
+
+    #[test]
+    fn full_prefix_reuse_truncates_prompt() {
+        let (db, model) = db();
+        let ctx: Vec<u32> = (10..90).collect();
+        import_context(&db, &model, &ctx);
+
+        // Same context + new question.
+        let mut prompt = ctx.clone();
+        prompt.extend([200, 201, 202]);
+        let (session, truncated) = db.create_session(&prompt);
+        assert_eq!(session.reused_len(), 80);
+        assert_eq!(truncated, vec![200, 201, 202]);
+    }
+
+    #[test]
+    fn identical_prompt_keeps_one_token() {
+        let (db, model) = db();
+        let ctx: Vec<u32> = (10..60).collect();
+        import_context(&db, &model, &ctx);
+        let (session, truncated) = db.create_session(&ctx);
+        assert_eq!(session.reused_len(), 49);
+        assert_eq!(truncated, vec![59]);
+    }
+
+    #[test]
+    fn partial_prefix_reuse() {
+        let (db, model) = db();
+        let stored: Vec<u32> = (0..100).collect();
+        import_context(&db, &model, &stored);
+        // Prompt shares only the first 40 tokens.
+        let mut prompt: Vec<u32> = (0..40).collect();
+        prompt.extend([250, 251]);
+        let (session, truncated) = db.create_session(&prompt);
+        assert_eq!(session.reused_len(), 40);
+        assert_eq!(truncated, vec![250, 251]);
+        assert!(session.base().unwrap().len() == 100);
+    }
+
+    #[test]
+    fn best_of_multiple_contexts_wins() {
+        let (db, model) = db();
+        import_context(&db, &model, &[1, 2, 3, 4]);
+        import_context(&db, &model, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        import_context(&db, &model, &[9, 9, 9]);
+        let (session, _) = db.create_session(&[1, 2, 3, 4, 5, 6, 99]);
+        assert_eq!(session.reused_len(), 6);
+        assert_eq!(db.n_contexts(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn import_length_mismatch_panics() {
+        let (db, model) = db();
+        let mut backend = FullKvBackend::new(model.config());
+        model.prefill(&[1, 2, 3], 0, &mut backend);
+        db.import(vec![1, 2], backend.into_cache());
+    }
+
+    #[test]
+    fn store_then_reuse_round_trip() {
+        let (db, model) = db();
+        // Run a session from scratch, then store it.
+        let prompt: Vec<u32> = (30..80).collect();
+        let (mut session, truncated) = db.create_session(&prompt);
+        session.note_tokens(&truncated);
+        let logits = model.prefill(&truncated, 0, &mut session);
+        let generated = model.decode(logits, truncated.len(), 4, &mut session);
+        session.note_tokens(&generated);
+        let id = db.store(&session);
+
+        let stored = db.context(id).unwrap();
+        // The final generated token has no KV yet, so it is not stored.
+        assert_eq!(stored.len(), 50 + generated.len() - 1);
+        assert_eq!(&stored.tokens[..50], &prompt[..]);
+
+        // A new session over the same prompt reuses the stored context.
+        let (s2, trunc2) = db.create_session(&prompt);
+        assert_eq!(s2.reused_len(), 49);
+        assert_eq!(trunc2.len(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Context persistence: stored contexts on the vector file system.
+//!
+//! The paper's conclusion lists "leveraging various storage tiers to store
+//! the KV cache of contexts" as the architecture's next step; §7.3 builds
+//! the storage engine for it. This module connects the two: a
+//! [`StoredContext`] — tokens, per-head KV matrices and per-head graph
+//! indexes — is laid out as one *vector file per (layer, head, K/V)* plus a
+//! small manifest, exactly the per-head file granularity §7.3 prescribes.
+//! Loading reopens the files through a buffer pool and reassembles the
+//! context without recomputing prefill or rebuilding graphs.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use alaya_index::graph::NeighborGraph;
+use alaya_llm::kv::KvCache;
+use alaya_storage::{BufferManager, FileDevice, StorageError, VectorFile, DEFAULT_BLOCK_SIZE};
+
+use crate::config::DbConfig;
+use crate::stored::{ContextId, StoredContext};
+
+/// Manifest file name within a context directory.
+const MANIFEST: &str = "context.manifest";
+/// Manifest magic/version.
+const MANIFEST_MAGIC: &[u8; 8] = b"ALAYACX1";
+
+fn head_file(dir: &Path, layer: usize, head: usize, part: &str) -> PathBuf {
+    dir.join(format!("l{layer:03}_h{head:03}.{part}.avfs"))
+}
+
+/// Persists `ctx` under `dir` (created if needed): a manifest with the
+/// token sequence plus one keys-file (carrying the graph chain, when the
+/// layer has one) and one values-file per `(layer, kv_head)`.
+pub fn save_context(ctx: &StoredContext, dir: &Path) -> Result<(), StorageError> {
+    std::fs::create_dir_all(dir)?;
+    let kv = &ctx.kv;
+    let n_layers = kv.n_layers();
+    let n_heads = kv.n_kv_heads();
+
+    // Manifest: magic, id, geometry, token sequence.
+    let mut manifest = Vec::with_capacity(40 + ctx.tokens.len() * 4);
+    manifest.extend_from_slice(MANIFEST_MAGIC);
+    manifest.extend_from_slice(&ctx.id.0.to_le_bytes());
+    manifest.extend_from_slice(&(n_layers as u32).to_le_bytes());
+    manifest.extend_from_slice(&(n_heads as u32).to_le_bytes());
+    manifest.extend_from_slice(&(kv.head_dim() as u32).to_le_bytes());
+    manifest.extend_from_slice(&(ctx.tokens.len() as u64).to_le_bytes());
+    for &t in &ctx.tokens {
+        manifest.extend_from_slice(&t.to_le_bytes());
+    }
+    std::fs::write(dir.join(MANIFEST), manifest)?;
+
+    // A modest shared pool: persistence is a streaming write.
+    let pool = BufferManager::new(256);
+    for layer in 0..n_layers {
+        for head in 0..n_heads {
+            let hkv = kv.head(layer, head);
+
+            let kdev = Arc::new(FileDevice::create(
+                &head_file(dir, layer, head, "keys"),
+                DEFAULT_BLOCK_SIZE,
+            )?);
+            let kfile = VectorFile::create(Arc::clone(&pool), kdev, kv.head_dim())?;
+            for row in hkv.keys.iter() {
+                kfile.append(row)?;
+            }
+            if let Some(graph) = ctx.graph(layer, head) {
+                kfile.write_graph(&graph.to_bytes())?;
+            }
+
+            let vdev = Arc::new(FileDevice::create(
+                &head_file(dir, layer, head, "values"),
+                DEFAULT_BLOCK_SIZE,
+            )?);
+            let vfile = VectorFile::create(Arc::clone(&pool), vdev, kv.head_dim())?;
+            for row in hkv.values.iter() {
+                vfile.append(row)?;
+            }
+        }
+    }
+    pool.flush()
+}
+
+/// Loads a context previously written by [`save_context`]. Graphs come
+/// back from the key files' index-block chains; coarse indexes are rebuilt
+/// (they are cheap summaries, not persisted state).
+pub fn load_context(dir: &Path, cfg: &DbConfig) -> Result<StoredContext, StorageError> {
+    let manifest = std::fs::read(dir.join(MANIFEST))?;
+    if manifest.len() < 36 || &manifest[0..8] != MANIFEST_MAGIC {
+        return Err(StorageError::Corrupt("bad context manifest".into()));
+    }
+    let read_u32 =
+        |off: usize| u32::from_le_bytes(manifest[off..off + 4].try_into().unwrap()) as usize;
+    let id = ContextId(u64::from_le_bytes(manifest[8..16].try_into().unwrap()));
+    let n_layers = read_u32(16);
+    let n_heads = read_u32(20);
+    let head_dim = read_u32(24);
+    let n_tokens = u64::from_le_bytes(manifest[28..36].try_into().unwrap()) as usize;
+    if manifest.len() < 36 + n_tokens * 4 {
+        return Err(StorageError::Corrupt("truncated token sequence".into()));
+    }
+    let tokens: Vec<u32> = (0..n_tokens)
+        .map(|i| u32::from_le_bytes(manifest[36 + i * 4..40 + i * 4].try_into().unwrap()))
+        .collect();
+
+    let pool = BufferManager::new(256);
+    let mut kv = KvCache::new(n_layers, n_heads, head_dim);
+    let mut graphs: Vec<Vec<Option<NeighborGraph>>> = Vec::with_capacity(n_layers);
+
+    let mut buf = vec![0.0f32; head_dim];
+    for layer in 0..n_layers {
+        let mut layer_graphs = Vec::with_capacity(n_heads);
+        for head in 0..n_heads {
+            let kdev = Arc::new(FileDevice::open(
+                &head_file(dir, layer, head, "keys"),
+                DEFAULT_BLOCK_SIZE,
+            )?);
+            let kfile = VectorFile::open(Arc::clone(&pool), kdev)?;
+            let vdev = Arc::new(FileDevice::open(
+                &head_file(dir, layer, head, "values"),
+                DEFAULT_BLOCK_SIZE,
+            )?);
+            let vfile = VectorFile::open(Arc::clone(&pool), vdev)?;
+            if kfile.n_vectors() != n_tokens || vfile.n_vectors() != n_tokens {
+                return Err(StorageError::Corrupt(format!(
+                    "layer {layer} head {head}: {}/{} vectors, manifest says {n_tokens}",
+                    kfile.n_vectors(),
+                    vfile.n_vectors()
+                )));
+            }
+
+            let hkv = kv.head_mut(layer, head);
+            for i in 0..n_tokens as u32 {
+                kfile.read_vector(i, &mut buf)?;
+                hkv.keys.push(&buf);
+                vfile.read_vector(i, &mut buf)?;
+                hkv.values.push(&buf);
+            }
+
+            let graph = match kfile.read_graph()? {
+                Some(bytes) => Some(NeighborGraph::from_bytes(&bytes).ok_or_else(|| {
+                    StorageError::Corrupt(format!("layer {layer} head {head}: bad graph bytes"))
+                })?),
+                None => None,
+            };
+            layer_graphs.push(graph);
+        }
+        graphs.push(layer_graphs);
+    }
+
+    Ok(StoredContext::assemble(id, tokens, kv, graphs, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+    use alaya_llm::{FullKvBackend, Model, ModelConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("alaya-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build_context(model: &Model, cfg: &DbConfig, tokens: &[u32]) -> StoredContext {
+        let mut backend = FullKvBackend::new(model.config());
+        model.prefill(tokens, 0, &mut backend);
+        StoredContext::build(ContextId(7), tokens.to_vec(), backend.into_cache(), None, cfg)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let model_cfg = ModelConfig::tiny();
+        let model = Model::new(model_cfg.clone());
+        let cfg = DbConfig::for_tests(model_cfg);
+        let tokens: Vec<u32> = (0..60u32).map(|i| (i * 3) % 200).collect();
+        let ctx = build_context(&model, &cfg, &tokens);
+
+        let dir = temp_dir("roundtrip");
+        save_context(&ctx, &dir).unwrap();
+        let loaded = load_context(&dir, &cfg).unwrap();
+
+        assert_eq!(loaded.id, ctx.id);
+        assert_eq!(loaded.tokens, ctx.tokens);
+        assert_eq!(loaded.kv.seq_len(0), ctx.kv.seq_len(0));
+        // KV bytes identical.
+        for layer in 0..ctx.kv.n_layers() {
+            for head in 0..ctx.kv.n_kv_heads() {
+                assert_eq!(
+                    loaded.kv.head(layer, head).keys.as_flat(),
+                    ctx.kv.head(layer, head).keys.as_flat()
+                );
+                assert_eq!(
+                    loaded.kv.head(layer, head).values.as_flat(),
+                    ctx.kv.head(layer, head).values.as_flat()
+                );
+            }
+        }
+        // Graphs preserved exactly (including the flat layer's absence).
+        assert!(loaded.graph(0, 0).is_none());
+        assert_eq!(loaded.graph(1, 0), ctx.graph(1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_context_serves_sessions() {
+        let model_cfg = ModelConfig::tiny();
+        let model = Model::new(model_cfg.clone());
+        let mut cfg = DbConfig::for_tests(model_cfg.clone());
+        cfg.optimizer.short_context_threshold = 1_000_000;
+        let tokens: Vec<u32> = (0..50u32).collect();
+        let ctx = build_context(&model, &cfg, &tokens);
+
+        let dir = temp_dir("serve");
+        save_context(&ctx, &dir).unwrap();
+
+        // A fresh DB (a different process tier, conceptually) loads it.
+        let db = Db::new(cfg.clone());
+        let loaded = load_context(&dir, &cfg).unwrap();
+        db.adopt(loaded);
+
+        let mut prompt = tokens.clone();
+        prompt.extend([9, 9]);
+        let (mut session, truncated) = db.create_session(&prompt);
+        assert_eq!(session.reused_len(), 50);
+        let got = model.prefill(&truncated, 50, &mut session);
+
+        // Reference without persistence.
+        let mut reference = FullKvBackend::new(&model_cfg);
+        let want = model.prefill(&prompt, 0, &mut reference);
+        for (a, b) in want.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-4, "persisted context changed the model's output");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join(MANIFEST), b"garbage").unwrap();
+        let cfg = DbConfig::for_tests(ModelConfig::tiny());
+        assert!(load_context(&dir, &cfg).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let cfg = DbConfig::for_tests(ModelConfig::tiny());
+        match load_context(Path::new("/nonexistent/alaya"), &cfg) {
+            Err(StorageError::Io(_)) => {}
+            Err(other) => panic!("expected Io error, got {other}"),
+            Ok(_) => panic!("load from a missing directory must fail"),
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Sessions: the per-request connection between stored contexts and a
+//! running inference (Table 2).
+//!
+//! A session pairs a (possibly partially) reused stored context with a
+//! session-local KV window. `update` appends each step's keys/values to the
+//! local window — never to the stored index (late materialization, §7.2) —
+//! and records query-vector samples so a later `DB.store` can train fine
+//! indexes from the true decode distribution. `attention` asks the query
+//! optimizer for a plan and executes it per query head, merging the cached
+//! window, the local window and the retrieved critical tokens through the
+//! data-centric log-sum-exp aggregation.
+
+use std::sync::Arc;
+
+use alaya_llm::backend::{AttentionBackend, StepInput};
+use alaya_llm::kv::KvCache;
+use alaya_query::diprs::{diprs_filtered, graph_topk_filtered, DiprsParams};
+use alaya_query::optimizer::{Optimizer, Plan, QuerySpec};
+use alaya_query::types::{IndexChoice, QueryType};
+use alaya_vector::softmax::OnlineSoftmax;
+use alaya_vector::topk::ScoredIdx;
+use alaya_vector::VecStore;
+
+use crate::config::DbConfig;
+use crate::stored::{QueryReservoir, StoredContext};
+
+/// A running inference session (the paper's `Session` abstraction).
+pub struct Session {
+    cfg: DbConfig,
+    optimizer: Optimizer,
+    base: Option<Arc<StoredContext>>,
+    reused_len: usize,
+    local: KvCache,
+    tokens: Vec<u32>,
+    queries: QueryReservoir,
+    /// Plans chosen so far, newest last (diagnostics / EXPLAIN).
+    plan_log: Vec<String>,
+}
+
+impl Session {
+    pub(crate) fn new(
+        cfg: DbConfig,
+        base: Option<Arc<StoredContext>>,
+        reused_len: usize,
+    ) -> Self {
+        let model = &cfg.model;
+        let local = KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim);
+        let tokens = base
+            .as_ref()
+            .map(|b| b.tokens[..reused_len].to_vec())
+            .unwrap_or_default();
+        let queries = QueryReservoir::new(
+            model.n_layers,
+            model.n_q_heads,
+            model.head_dim,
+            cfg.max_query_samples,
+        );
+        let optimizer = Optimizer::new(cfg.optimizer.clone());
+        Self { cfg, optimizer, base, reused_len, local, tokens, queries, plan_log: Vec::new() }
+    }
+
+    /// The reused stored context, if any.
+    pub fn base(&self) -> Option<&Arc<StoredContext>> {
+        self.base.as_ref()
+    }
+
+    /// Reused prefix length.
+    pub fn reused_len(&self) -> usize {
+        self.reused_len
+    }
+
+    /// Tokens appended to the session-local window (any layer; all layers
+    /// advance together under the backend contract).
+    pub fn local_len(&self) -> usize {
+        self.local.seq_len(0)
+    }
+
+    /// Total sequence length (reused prefix + local window).
+    pub fn total_len(&self) -> usize {
+        self.reused_len + self.local_len()
+    }
+
+    /// Records the token ids the engine is processing, so `DB.store` can
+    /// persist the full context. Call before/after `Model::generate` with
+    /// the truncated prompt and the generated tokens.
+    pub fn note_tokens(&mut self, tokens: &[u32]) {
+        self.tokens.extend_from_slice(tokens);
+    }
+
+    /// The known token sequence (reused prefix + noted tokens).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The retained query samples (handed to index construction at store
+    /// time).
+    pub fn query_samples(&self) -> &QueryReservoir {
+        &self.queries
+    }
+
+    /// Recent plan explanations, newest last.
+    pub fn plan_log(&self) -> &[String] {
+        &self.plan_log
+    }
+
+    pub(crate) fn local_kv(&self) -> &KvCache {
+        &self.local
+    }
+
+    /// Appends one step's keys/values (one per KV head) for `layer` and
+    /// records query samples — the `Session.update` API of Table 2.
+    pub fn update(
+        &mut self,
+        queries: &[Vec<f32>],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+        layer: usize,
+    ) {
+        self.local.push_token(layer, keys, values);
+        for (qh, q) in queries.iter().enumerate() {
+            self.queries.push(layer, qh, q);
+        }
+    }
+
+    /// Materializes the full key/value matrices of `(layer, kv_head)` —
+    /// reused prefix followed by the session-local window. This is Table
+    /// 2's "option to return the full key and value cache for manual
+    /// management" (`DynamicCache.update` compatibility); the sparse path
+    /// never needs it.
+    pub fn full_kv(&self, layer: usize, kv_head: usize) -> (VecStore, VecStore) {
+        let dim = self.cfg.model.head_dim;
+        let mut keys = VecStore::with_capacity(dim, self.total_len());
+        let mut values = VecStore::with_capacity(dim, self.total_len());
+        if let Some(base) = &self.base {
+            let kv = base.kv.head(layer, kv_head);
+            for i in 0..self.reused_len {
+                keys.push(kv.keys.row(i));
+                values.push(kv.values.row(i));
+            }
+        }
+        let local = self.local.head(layer, kv_head);
+        for i in 0..local.len() {
+            keys.push(local.keys.row(i));
+            values.push(local.values.row(i));
+        }
+        (keys, values)
+    }
+
+    /// Computes attention outputs for every query head at `layer` — the
+    /// `Session.attention` API of Table 2. K/V for the current step must
+    /// already be in the local window (call [`Session::update`] first).
+    pub fn attention(&mut self, queries: &[Vec<f32>], layer: usize) -> Vec<Vec<f32>> {
+        let spec = QuerySpec {
+            context_len: self.base.as_ref().map(|b| b.len()).unwrap_or(0),
+            reused_prefix: match &self.base {
+                Some(b) if self.reused_len < b.len() => Some(self.reused_len),
+                _ => None,
+            },
+            layer_id: layer,
+            coarse_bytes_needed: self
+                .base
+                .as_ref()
+                .map(|b| b.coarse_bytes_needed())
+                .unwrap_or(0),
+        };
+        let plan = self.optimizer.plan(&spec, &self.cfg.gpu);
+        if self.plan_log.last().map(|p| p != &plan.explain()).unwrap_or(true) {
+            self.plan_log.push(plan.explain());
+        }
+
+        let group = self.cfg.model.gqa_group_size();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(qh, q)| self.attend_head(q, qh / group, layer, &plan))
+            .collect()
+    }
+
+    /// One head's attention under `plan`.
+    fn attend_head(&self, q: &[f32], kv_head: usize, layer: usize, plan: &Plan) -> Vec<f32> {
+        let dim = self.cfg.model.head_dim;
+        let scale = 1.0 / (dim as f32).sqrt();
+        let n_stored = self.reused_len;
+        let n_local = self.local.seq_len(layer);
+        let n = n_stored + n_local;
+        let mut acc = OnlineSoftmax::new(dim);
+
+        let local_kv = self.local.head(layer, kv_head);
+        let stored_kv = self.base.as_ref().map(|b| b.kv.head(layer, kv_head));
+
+        match plan {
+            Plan::FullAttention { .. } => {
+                if let Some(kv) = stored_kv {
+                    for id in 0..n_stored {
+                        acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
+                    }
+                }
+                for j in 0..n_local {
+                    acc.push(local_kv.keys.dot_row(q, j) * scale, local_kv.values.row(j));
+                }
+                acc.output()
+            }
+            Plan::Sparse { query, index, filter } => {
+                let window = self.cfg.window;
+
+                // Partition 1 ("GPU"): cached window over the combined
+                // sequence, restricted to the stored part (local tokens are
+                // partition 2 in full).
+                let mut in_window = vec![false; n_stored];
+                if let Some(kv) = stored_kv {
+                    for id in window.token_ids(n) {
+                        let id = id as usize;
+                        if id < n_stored {
+                            in_window[id] = true;
+                            acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
+                        }
+                    }
+                }
+
+                // Partition 2: the session-local window — always attended
+                // (late materialization keeps it un-indexed).
+                for j in 0..n_local {
+                    acc.push(local_kv.keys.dot_row(q, j) * scale, local_kv.values.row(j));
+                }
+
+                // Window seeding for DIPRS (§7.1): best-so-far IP from the
+                // already-computed partitions.
+                let seed =
+                    if acc.is_empty() { None } else { Some(acc.max_score() / scale) };
+
+                // Partition 3 ("CPU"): retrieved critical tokens from the
+                // stored context.
+                let (Some(base), Some(kv)) = (self.base.as_ref(), stored_kv) else {
+                    return acc.output();
+                };
+                let prefix_len = filter.map(|f| f.prefix_len).unwrap_or(n_stored);
+                let pred = |id: u32| (id as usize) < prefix_len;
+                let retrieved: Vec<ScoredIdx> = match (query, index) {
+                    (QueryType::TopK { k }, IndexChoice::Coarse) => {
+                        let coarse = base.coarse(layer, kv_head);
+                        let blocks = k.div_ceil(coarse.block_size()).max(1);
+                        coarse
+                            .select_tokens(q, blocks)
+                            .into_iter()
+                            .filter(|&t| pred(t))
+                            .map(|t| ScoredIdx { idx: t as usize, score: 0.0 })
+                            .collect()
+                    }
+                    (QueryType::TopK { k }, IndexChoice::Fine) => {
+                        match base.graph(layer, kv_head) {
+                            Some(g) => graph_topk_filtered(g, &kv.keys, q, *k, k * 2, pred),
+                            None => flat_topk_filtered(&kv.keys, q, *k, pred),
+                        }
+                    }
+                    (QueryType::TopK { k }, IndexChoice::Flat) => {
+                        flat_topk_filtered(&kv.keys, q, *k, pred)
+                    }
+                    (QueryType::Dipr { beta }, IndexChoice::Fine) => {
+                        let params = DiprsParams {
+                            beta: *beta,
+                            l0: self.cfg.optimizer.default_k.max(16),
+                            max_visits: usize::MAX,
+                        };
+                        match base.graph(layer, kv_head) {
+                            Some(g) => {
+                                diprs_filtered(g, &kv.keys, q, &params, seed, pred).tokens
+                            }
+                            None => flat_dipr_filtered(&kv.keys, q, *beta, pred),
+                        }
+                    }
+                    (QueryType::Dipr { beta }, IndexChoice::Flat | IndexChoice::Coarse) => {
+                        flat_dipr_filtered(&kv.keys, q, *beta, pred)
+                    }
+                };
+
+                for s in retrieved {
+                    let id = s.idx;
+                    if id < n_stored && !in_window[id] {
+                        in_window[id] = true; // guards duplicate retrievals
+                        acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
+                    }
+                }
+                acc.output()
+            }
+        }
+    }
+}
+
+fn flat_topk_filtered(
+    keys: &VecStore,
+    q: &[f32],
+    k: usize,
+    pred: impl Fn(u32) -> bool,
+) -> Vec<ScoredIdx> {
+    alaya_index::flat::FlatIndex.search_topk_filtered(keys, q, k, pred)
+}
+
+fn flat_dipr_filtered(
+    keys: &VecStore,
+    q: &[f32],
+    beta: f32,
+    pred: impl Fn(u32) -> bool,
+) -> Vec<ScoredIdx> {
+    alaya_index::flat::FlatIndex.search_dipr_filtered(keys, q, beta, pred)
+}
+
+impl AttentionBackend for Session {
+    fn attend(&mut self, layer: usize, input: StepInput) -> Vec<Vec<f32>> {
+        self.update(&input.queries, &input.keys, &input.values, layer);
+        self.attention(&input.queries, layer)
+    }
+
+    fn seq_len(&self, layer: usize) -> usize {
+        self.reused_len + self.local.seq_len(layer)
+    }
+}

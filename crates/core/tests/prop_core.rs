@@ -1,0 +1,67 @@
+//! Property tests for the DB/Session reuse semantics.
+
+use alaya_core::{Db, DbConfig};
+use alaya_llm::{FullKvBackend, Model, ModelConfig};
+use proptest::prelude::*;
+
+fn db_and_model() -> (Db, Model) {
+    let cfg = ModelConfig::tiny();
+    (Db::new(DbConfig::for_tests(cfg.clone())), Model::new(cfg))
+}
+
+fn import(db: &Db, model: &Model, tokens: &[u32]) {
+    let mut backend = FullKvBackend::new(model.config());
+    model.prefill(tokens, 0, &mut backend);
+    db.import(tokens.to_vec(), backend.into_cache());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `create_session` reuses exactly the longest common prefix over all
+    /// stored contexts, capped so at least one prompt token remains, and
+    /// the truncated prompt is exactly the un-reused suffix.
+    #[test]
+    fn lcp_reuse_is_exact(
+        stored_a in prop::collection::vec(0u32..6, 4..24),
+        stored_b in prop::collection::vec(0u32..6, 4..24),
+        prompt in prop::collection::vec(0u32..6, 1..30),
+    ) {
+        let (db, model) = db_and_model();
+        import(&db, &model, &stored_a);
+        import(&db, &model, &stored_b);
+
+        let lcp = |ctx: &[u32]| ctx.iter().zip(&prompt).take_while(|(a, b)| a == b).count();
+        let best = lcp(&stored_a).max(lcp(&stored_b));
+        let expect = best.min(prompt.len() - 1);
+
+        let (session, truncated) = db.create_session(&prompt);
+        prop_assert_eq!(session.reused_len(), expect);
+        prop_assert_eq!(truncated.as_slice(), &prompt[expect..]);
+        prop_assert_eq!(session.reused_len() + truncated.len(), prompt.len());
+        prop_assert!(!truncated.is_empty(), "engine always gets at least one token");
+    }
+
+    /// Store/reuse round trip: whatever the generation length, a stored
+    /// session's context matches its noted tokens (minus the final
+    /// unprocessed token) and is found by the next session.
+    #[test]
+    fn store_round_trip(prompt in prop::collection::vec(0u32..250, 2..12), gen_len in 1usize..6) {
+        let (db, model) = db_and_model();
+        let (mut session, truncated) = db.create_session(&prompt);
+        session.note_tokens(&truncated);
+        let logits = model.prefill(&truncated, 0, &mut session);
+        let generated = model.decode(logits, truncated.len(), gen_len, &mut session);
+        session.note_tokens(&generated);
+        let id = db.store(&session);
+
+        let stored = db.context(id).unwrap();
+        // The last generated token is sampled but not forward-passed.
+        prop_assert_eq!(stored.len(), prompt.len() + generated.len() - 1);
+        prop_assert_eq!(&stored.tokens[..prompt.len()], prompt.as_slice());
+
+        let (s2, t2) = db.create_session(&prompt);
+        prop_assert_eq!(s2.reused_len(), prompt.len() - 1);
+        prop_assert_eq!(t2.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulated heterogeneous device substrate for AlayaDB.
+//!
+//! The paper evaluates AlayaDB on an NVIDIA L20 GPU + dual-Xeon server. This
+//! repository has neither, so the GPU is *modeled*: [`DeviceSpec`] carries
+//! published throughput/bandwidth constants, [`MemoryTracker`] does exact
+//! budget accounting (used for every "GPU memory consumption" figure), and
+//! [`CostModel`] converts workload shapes (attention FLOPs, KV-cache bytes,
+//! PCIe transfers) into simulated latencies for the experiments whose shape
+//! depends on GPU-side costs (TTFT, prefill). Everything that genuinely runs
+//! on the CPU (index search, DIPRS, buffer manager) is measured for real; the
+//! split is documented per-experiment in `EXPERIMENTS.md`.
+//!
+//! The [`slo`] module implements the paper's Service Level Objectives:
+//! Time-To-First-Token for the prefill phase and Time-Per-Output-Token for
+//! the decode phase (§2), with the 0.24 s/token human-reading-speed default
+//! used in §9.
+
+pub mod cost;
+pub mod memory;
+pub mod slo;
+pub mod spec;
+
+pub use cost::{CostModel, ModelShape};
+pub use memory::{MemoryGuard, MemoryTracker, OutOfMemory};
+pub use slo::{Slo, SloReport};
+pub use spec::{DeviceKind, DeviceSpec, LinkSpec};

@@ -1,0 +1,131 @@
+//! Flat index: brute-force sequential scan.
+//!
+//! The paper's flat index (Table 4) scans every key on the CPU. It is the
+//! exact-answer reference for every other index, the optimizer's choice for
+//! first-layer attention (where the number of critical tokens is huge and a
+//! scan's sequential bandwidth beats a graph's random access), and the
+//! ground-truth oracle used by tests and recall measurements.
+
+use alaya_vector::topk::{top_k_indices, ScoredIdx};
+
+use crate::source::VectorSource;
+
+/// Brute-force scan index over a [`VectorSource`].
+///
+/// Stateless: borrows the source per query, so it never holds a stale copy
+/// of a growing KV cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatIndex;
+
+impl FlatIndex {
+    /// Exact top-`k` by inner product. Results are sorted descending.
+    pub fn search_topk<S: VectorSource>(&self, source: &S, q: &[f32], k: usize) -> Vec<ScoredIdx> {
+        top_k_indices((0..source.len() as u32).map(|i| source.score(q, i)), k)
+    }
+
+    /// Exact top-`k` among ids satisfying `predicate` (attribute filtering).
+    pub fn search_topk_filtered<S: VectorSource>(
+        &self,
+        source: &S,
+        q: &[f32],
+        k: usize,
+        predicate: impl Fn(u32) -> bool,
+    ) -> Vec<ScoredIdx> {
+        let mut scored: Vec<ScoredIdx> = (0..source.len() as u32)
+            .filter(|&i| predicate(i))
+            .map(|i| ScoredIdx { idx: i as usize, score: source.score(q, i) })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Exact DIPR: every id whose inner product is within `beta` of the
+    /// maximum (Definition 3). Results sorted descending by score.
+    ///
+    /// Returns an empty vector for an empty source.
+    pub fn search_dipr<S: VectorSource>(&self, source: &S, q: &[f32], beta: f32) -> Vec<ScoredIdx> {
+        self.search_dipr_filtered(source, q, beta, |_| true)
+    }
+
+    /// Exact DIPR restricted to ids satisfying `predicate`.
+    pub fn search_dipr_filtered<S: VectorSource>(
+        &self,
+        source: &S,
+        q: &[f32],
+        beta: f32,
+        predicate: impl Fn(u32) -> bool,
+    ) -> Vec<ScoredIdx> {
+        let mut scored: Vec<ScoredIdx> = (0..source.len() as u32)
+            .filter(|&i| predicate(i))
+            .map(|i| ScoredIdx { idx: i as usize, score: source.score(q, i) })
+            .collect();
+        let max = scored.iter().map(|s| s.score).fold(f32::NEG_INFINITY, f32::max);
+        scored.retain(|s| s.score >= max - beta);
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_vector::VecStore;
+
+    fn store() -> VecStore {
+        // ids 0..5 with increasing first coordinate.
+        VecStore::from_flat(2, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0])
+    }
+
+    #[test]
+    fn topk_orders_by_inner_product() {
+        let s = store();
+        let got = FlatIndex.search_topk(&s, &[1.0, 0.0], 3);
+        let ids: Vec<usize> = got.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn dipr_returns_beta_band() {
+        let s = store();
+        // Scores with q=[1,0] are 0,1,2,3,4; beta=1.5 keeps {4,3}.
+        let got = FlatIndex.search_dipr(&s, &[1.0, 0.0], 1.5);
+        let ids: Vec<usize> = got.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![4, 3]);
+        // beta=0 keeps only the max.
+        let got = FlatIndex.search_dipr(&s, &[1.0, 0.0], 0.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].idx, 4);
+    }
+
+    #[test]
+    fn dipr_band_is_dynamic_with_distribution() {
+        // A flat score distribution yields many critical tokens; a peaked
+        // one yields few — the dynamism DIPR exists for (§6.1).
+        let flat = VecStore::from_flat(1, vec![1.0, 1.0, 1.0, 1.0]);
+        let peaked = VecStore::from_flat(1, vec![10.0, 1.0, 1.0, 1.0]);
+        let b = 2.0;
+        assert_eq!(FlatIndex.search_dipr(&flat, &[1.0], b).len(), 4);
+        assert_eq!(FlatIndex.search_dipr(&peaked, &[1.0], b).len(), 1);
+    }
+
+    #[test]
+    fn filtered_variants_respect_predicate() {
+        let s = store();
+        let got = FlatIndex.search_topk_filtered(&s, &[1.0, 0.0], 2, |id| id < 3);
+        let ids: Vec<usize> = got.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![2, 1]);
+
+        let got = FlatIndex.search_dipr_filtered(&s, &[1.0, 0.0], 1.5, |id| id < 3);
+        let ids: Vec<usize> = got.iter().map(|x| x.idx).collect();
+        // Max among ids<3 is 2.0 → band keeps {2, 1}.
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_source() {
+        let s = VecStore::new(2);
+        assert!(FlatIndex.search_topk(&s, &[1.0, 0.0], 3).is_empty());
+        assert!(FlatIndex.search_dipr(&s, &[1.0, 0.0], 1.0).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Proximity-graph structure and best-first search.
+//!
+//! [`NeighborGraph`] is the common output format of every fine-grained index
+//! builder (HNSW base layer, RoarGraph) and the structure DIPRS traverses.
+//! It is a flat adjacency list with a designated entry point, plus the
+//! standard best-first beam search for maximum-inner-product queries.
+
+use std::collections::BinaryHeap;
+
+use alaya_vector::topk::ScoredIdx;
+
+use crate::source::VectorSource;
+
+/// Parameters for graph beam search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchParams {
+    /// Beam width (candidate-list size, `ef` in the HNSW literature). The
+    /// search cannot return more than `ef` results.
+    pub ef: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self { ef: 64 }
+    }
+}
+
+/// A directed proximity graph over vector ids `0..len`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NeighborGraph {
+    adjacency: Vec<Vec<u32>>,
+    entry: u32,
+}
+
+impl NeighborGraph {
+    /// Creates an edgeless graph over `n` nodes with entry point 0.
+    pub fn new(n: usize) -> Self {
+        Self { adjacency: vec![Vec::new(); n], entry: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// The search entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Sets the search entry point.
+    pub fn set_entry(&mut self, entry: u32) {
+        debug_assert!((entry as usize) < self.adjacency.len());
+        self.entry = entry;
+    }
+
+    /// Out-neighbors of `id`.
+    #[inline]
+    pub fn neighbors(&self, id: u32) -> &[u32] {
+        &self.adjacency[id as usize]
+    }
+
+    /// Adds a directed edge `from → to` if absent. Self-loops are ignored.
+    pub fn add_edge(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        let list = &mut self.adjacency[from as usize];
+        if !list.contains(&to) {
+            list.push(to);
+        }
+    }
+
+    /// Adds `from → to` and `to → from`.
+    pub fn add_edge_bidirectional(&mut self, a: u32, b: u32) {
+        self.add_edge(a, b);
+        self.add_edge(b, a);
+    }
+
+    /// Replaces the out-neighbor list of `id`.
+    pub fn set_neighbors(&mut self, id: u32, neighbors: Vec<u32>) {
+        self.adjacency[id as usize] = neighbors;
+    }
+
+    /// Appends a new isolated node, returning its id.
+    pub fn push_node(&mut self) -> u32 {
+        self.adjacency.push(Vec::new());
+        (self.adjacency.len() - 1) as u32
+    }
+
+    /// Mean out-degree (diagnostics; Figure 11b memory accounting).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adjacency.iter().map(|l| l.len()).sum();
+        total as f64 / self.adjacency.len() as f64
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate heap footprint in bytes (adjacency storage).
+    pub fn bytes(&self) -> usize {
+        self.adjacency.iter().map(|l| l.capacity() * 4 + 24).sum::<usize>() + 32
+    }
+
+    /// Best-first beam search maximizing inner product. Returns up to `k`
+    /// results sorted descending by score.
+    ///
+    /// This is the standard graph-ANNS search the paper's top-k baseline
+    /// uses; DIPRS (in `alaya-query`) replaces it for DIPR queries.
+    pub fn search_topk<S: VectorSource>(
+        &self,
+        source: &S,
+        q: &[f32],
+        k: usize,
+        params: SearchParams,
+    ) -> Vec<ScoredIdx> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let ef = params.ef.max(k);
+        let mut visited = VisitedSet::new(self.len());
+
+        // Max-heap of frontier candidates; min-heap (via Reverse) of the
+        // best `ef` results found so far.
+        let mut frontier: BinaryHeap<ScoredIdx> = BinaryHeap::new();
+        let mut results: BinaryHeap<std::cmp::Reverse<ScoredIdx>> = BinaryHeap::new();
+
+        let entry_score = source.score(q, self.entry);
+        visited.insert(self.entry);
+        frontier.push(ScoredIdx { idx: self.entry as usize, score: entry_score });
+        results.push(std::cmp::Reverse(ScoredIdx { idx: self.entry as usize, score: entry_score }));
+
+        while let Some(cand) = frontier.pop() {
+            // The frontier's best cannot improve the result set: stop.
+            if results.len() >= ef {
+                let worst = results.peek().unwrap().0;
+                if cand.score < worst.score {
+                    break;
+                }
+            }
+            for &n in self.neighbors(cand.idx as u32) {
+                if visited.insert(n) {
+                    let score = source.score(q, n);
+                    let item = ScoredIdx { idx: n as usize, score };
+                    if results.len() < ef {
+                        results.push(std::cmp::Reverse(item));
+                        frontier.push(item);
+                    } else {
+                        let worst = results.peek().unwrap().0;
+                        if item > worst {
+                            results.pop();
+                            results.push(std::cmp::Reverse(item));
+                            frontier.push(item);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<ScoredIdx> = results.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.truncate(k);
+        out
+    }
+
+    /// Serializes the graph to a flat little-endian byte buffer
+    /// (`[n, entry, degree_0, nbrs_0.., degree_1, ...]`), the on-disk format
+    /// of vector-index blocks in the storage engine.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.edge_count() * 4 + self.len() * 4);
+        out.extend_from_slice(&(self.adjacency.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        for list in &self.adjacency {
+            out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for &n in list {
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a graph written by [`NeighborGraph::to_bytes`].
+    /// Returns `None` on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut cur = 0usize;
+        let mut read_u32 = |bytes: &[u8]| -> Option<u32> {
+            let v = bytes.get(cur..cur + 4)?;
+            cur += 4;
+            Some(u32::from_le_bytes(v.try_into().ok()?))
+        };
+        let n = read_u32(bytes)? as usize;
+        let entry = read_u32(bytes)?;
+        let mut adjacency = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = read_u32(bytes)? as usize;
+            let mut list = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let v = read_u32(bytes)?;
+                if v as usize >= n {
+                    return None;
+                }
+                list.push(v);
+            }
+            adjacency.push(list);
+        }
+        if (entry as usize) >= n && n > 0 {
+            return None;
+        }
+        Some(Self { adjacency, entry })
+    }
+}
+
+/// Dense bitmap visited-set used by all graph searches.
+pub struct VisitedSet {
+    bits: Vec<u64>,
+}
+
+impl VisitedSet {
+    /// Creates a cleared set for ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Marks `id` visited; returns `true` if it was previously unvisited.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        let fresh = self.bits[word] & bit == 0;
+        self.bits[word] |= bit;
+        fresh
+    }
+
+    /// Whether `id` has been visited.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.bits[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_vector::rng::{gaussian_store, seeded};
+    use alaya_vector::VecStore;
+
+    use crate::flat::FlatIndex;
+
+    #[test]
+    fn edges_dedup_and_no_self_loops() {
+        let mut g = NeighborGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 0);
+        assert_eq!(g.neighbors(0), &[1]);
+        g.add_edge_bidirectional(1, 2);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn search_on_fully_connected_graph_is_exact() {
+        let mut rng = seeded(11);
+        let vecs = gaussian_store(&mut rng, 50, 8, 1.0);
+        let mut g = NeighborGraph::new(50);
+        for i in 0..50u32 {
+            for j in 0..50u32 {
+                g.add_edge(i, j);
+            }
+        }
+        let q = vecs.row(7).to_vec();
+        let got = g.search_topk(&vecs, &q, 5, SearchParams { ef: 50 });
+        let want = FlatIndex.search_topk(&vecs, &q, 5);
+        let g_ids: Vec<usize> = got.iter().map(|s| s.idx).collect();
+        let w_ids: Vec<usize> = want.iter().map(|s| s.idx).collect();
+        assert_eq!(g_ids, w_ids);
+    }
+
+    #[test]
+    fn search_respects_reachability() {
+        // Two disconnected cliques: search from entry in clique A can never
+        // return nodes of clique B.
+        let vecs = VecStore::from_flat(1, vec![0.0, 1.0, 2.0, 100.0, 101.0]);
+        let mut g = NeighborGraph::new(5);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge_bidirectional(3, 4);
+        g.set_entry(0);
+        let got = g.search_topk(&vecs, &[1.0], 5, SearchParams { ef: 8 });
+        assert!(got.iter().all(|s| s.idx < 3), "unreachable nodes returned: {got:?}");
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let g = NeighborGraph::new(0);
+        let vecs = VecStore::new(1);
+        assert!(g.search_topk(&vecs, &[1.0], 3, SearchParams::default()).is_empty());
+        let g = NeighborGraph::new(1);
+        let vecs = VecStore::from_flat(1, vec![1.0]);
+        assert!(g.search_topk(&vecs, &[1.0], 0, SearchParams::default()).is_empty());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut g = NeighborGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(3, 0);
+        g.set_entry(2);
+        let bytes = g.to_bytes();
+        let back = NeighborGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(NeighborGraph::from_bytes(&[1, 2, 3]).is_none());
+        // Neighbor id out of range.
+        let mut g = NeighborGraph::new(2);
+        g.add_edge(0, 1);
+        let mut bytes = g.to_bytes();
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&99u32.to_le_bytes());
+        assert!(NeighborGraph::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn visited_set() {
+        let mut v = VisitedSet::new(130);
+        assert!(v.insert(0));
+        assert!(!v.insert(0));
+        assert!(v.insert(129));
+        assert!(v.contains(129));
+        assert!(!v.contains(128));
+    }
+
+    #[test]
+    fn degree_stats() {
+        let mut g = NeighborGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-9);
+    }
+}

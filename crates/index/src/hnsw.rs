@@ -1,0 +1,334 @@
+//! HNSW: hierarchical navigable small-world graph (Malkov & Yashunin).
+//!
+//! The classic fine-grained graph index, included as the baseline the paper
+//! cites alongside NSG and RoarGraph (§6.1.3). AlayaDB's default fine index
+//! is [`crate::RoarGraph`]; HNSW is used in tests and ablations, and its
+//! base layer can be handed to DIPRS like any other [`NeighborGraph`].
+
+use alaya_vector::rng::seeded;
+use alaya_vector::topk::ScoredIdx;
+use rand::Rng;
+
+use crate::graph::{NeighborGraph, SearchParams, VisitedSet};
+use crate::source::VectorSource;
+
+/// HNSW construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HnswParams {
+    /// Max neighbors per node on upper levels (base level allows `2*m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// RNG seed for level sampling.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 128, seed: 7 }
+    }
+}
+
+/// A built HNSW index (owns only the graph topology; vectors stay in the
+/// caller's [`VectorSource`]).
+pub struct Hnsw {
+    /// Per-node, per-level adjacency. `levels[node][l]` is the neighbor list
+    /// of `node` at level `l`; nodes exist on levels `0..=node_level`.
+    levels: Vec<Vec<Vec<u32>>>,
+    /// Entry node (highest level).
+    entry: u32,
+    /// Level of the entry node.
+    max_level: usize,
+    params: HnswParams,
+}
+
+impl Hnsw {
+    /// Builds an HNSW over every vector in `source` (ids `0..len`).
+    pub fn build<S: VectorSource>(source: &S, params: HnswParams) -> Self {
+        let n = source.len();
+        assert!(n > 0, "cannot build HNSW over an empty source");
+        let mut rng = seeded(params.seed);
+        let level_mult = 1.0 / (params.m.max(2) as f64).ln();
+
+        let mut hnsw = Self {
+            levels: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+            params,
+        };
+
+        for id in 0..n as u32 {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let level = (-u.ln() * level_mult).floor() as usize;
+            hnsw.insert(source, id, level);
+        }
+        hnsw
+    }
+
+    fn insert<S: VectorSource>(&mut self, source: &S, id: u32, level: usize) {
+        let mut node_levels = vec![Vec::new(); level + 1];
+
+        if self.levels.is_empty() {
+            self.levels.push(node_levels);
+            self.entry = id;
+            self.max_level = level;
+            return;
+        }
+
+        let dim = source.dim();
+        let mut q = vec![0.0f32; dim];
+        source.load(id, &mut q);
+
+        // Greedy descent through levels above the node's level.
+        let mut ep = self.entry;
+        let mut ep_score = source.score(&q, ep);
+        let mut l = self.max_level;
+        while l > level {
+            loop {
+                let mut improved = false;
+                for &nb in self.neighbors_at(ep, l) {
+                    let s = source.score(&q, nb);
+                    if s > ep_score {
+                        ep = nb;
+                        ep_score = s;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            l -= 1;
+        }
+
+        // Insert with beam search on each level from min(level, max_level) down to 0.
+        let start = level.min(self.max_level);
+        for lvl in (0..=start).rev() {
+            let found = self.search_level(source, &q, ep, lvl, self.params.ef_construction);
+            let m_max = if lvl == 0 { self.params.m * 2 } else { self.params.m };
+            let chosen: Vec<u32> =
+                found.iter().take(m_max).map(|s| s.idx as u32).filter(|&n| n != id).collect();
+            node_levels[lvl] = chosen.clone();
+            // Back-link with degree cap enforcement.
+            for n in chosen {
+                self.link_with_cap(source, n, id, lvl, m_max);
+            }
+            if let Some(best) = found.first() {
+                ep = best.idx as u32;
+            }
+        }
+
+        self.levels.push(node_levels);
+        debug_assert_eq!(self.levels.len() - 1, id as usize, "ids must be inserted in order");
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    fn neighbors_at(&self, node: u32, level: usize) -> &[u32] {
+        self.levels[node as usize].get(level).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Adds edge `from → to` at `level`, evicting the lowest-IP neighbor if
+    /// the degree cap is exceeded.
+    fn link_with_cap<S: VectorSource>(
+        &mut self,
+        source: &S,
+        from: u32,
+        to: u32,
+        level: usize,
+        cap: usize,
+    ) {
+        let dim = source.dim();
+        let mut from_vec = vec![0.0f32; dim];
+        source.load(from, &mut from_vec);
+        let list = &mut self.levels[from as usize][level];
+        if list.contains(&to) {
+            return;
+        }
+        list.push(to);
+        if list.len() > cap {
+            // Drop the neighbor with the smallest IP to `from`.
+            let (worst_pos, _) = list
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (i, source.score(&from_vec, n)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            list.swap_remove(worst_pos);
+        }
+    }
+
+    /// Beam search restricted to one level.
+    fn search_level<S: VectorSource>(
+        &self,
+        source: &S,
+        q: &[f32],
+        entry: u32,
+        level: usize,
+        ef: usize,
+    ) -> Vec<ScoredIdx> {
+        let mut visited = VisitedSet::new(self.levels.len() + 1);
+        let mut frontier = std::collections::BinaryHeap::new();
+        let mut results: std::collections::BinaryHeap<std::cmp::Reverse<ScoredIdx>> =
+            std::collections::BinaryHeap::new();
+        let e = ScoredIdx { idx: entry as usize, score: source.score(q, entry) };
+        visited.insert(entry);
+        frontier.push(e);
+        results.push(std::cmp::Reverse(e));
+        while let Some(c) = frontier.pop() {
+            if results.len() >= ef && c.score < results.peek().unwrap().0.score {
+                break;
+            }
+            for &n in self.neighbors_at(c.idx as u32, level) {
+                if visited.insert(n) {
+                    let item = ScoredIdx { idx: n as usize, score: source.score(q, n) };
+                    if results.len() < ef {
+                        results.push(std::cmp::Reverse(item));
+                        frontier.push(item);
+                    } else if item > results.peek().unwrap().0 {
+                        results.pop();
+                        results.push(std::cmp::Reverse(item));
+                        frontier.push(item);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<ScoredIdx> = results.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Top-k search through the full hierarchy.
+    pub fn search_topk<S: VectorSource>(
+        &self,
+        source: &S,
+        q: &[f32],
+        k: usize,
+        params: SearchParams,
+    ) -> Vec<ScoredIdx> {
+        if self.levels.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Greedy descent to level 0.
+        let mut ep = self.entry;
+        let mut ep_score = source.score(q, ep);
+        for l in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in self.neighbors_at(ep, l) {
+                    let s = source.score(q, nb);
+                    if s > ep_score {
+                        ep = nb;
+                        ep_score = s;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let mut out = self.search_level(source, q, ep, 0, params.ef.max(k));
+        out.truncate(k);
+        out
+    }
+
+    /// Extracts the base level as a [`NeighborGraph`] for DIPRS traversal.
+    pub fn base_graph(&self) -> NeighborGraph {
+        let mut g = NeighborGraph::new(self.levels.len());
+        for (id, levels) in self.levels.iter().enumerate() {
+            if let Some(l0) = levels.first() {
+                g.set_neighbors(id as u32, l0.clone());
+            }
+        }
+        g.set_entry(self.entry);
+        g
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use alaya_vector::rng::{gaussian_store, seeded as vseeded};
+
+    #[test]
+    fn recall_on_gaussian_data() {
+        let mut rng = vseeded(3);
+        let base = gaussian_store(&mut rng, 500, 16, 1.0);
+        let hnsw = Hnsw::build(&base, HnswParams::default());
+        assert_eq!(hnsw.len(), 500);
+
+        let queries = gaussian_store(&mut rng, 20, 16, 1.0);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let got = hnsw.search_topk(&base, q, 10, SearchParams { ef: 64 });
+            let want = FlatIndex.search_topk(&base, q, 10);
+            let want_ids: std::collections::HashSet<usize> =
+                want.iter().map(|s| s.idx).collect();
+            hits += got.iter().filter(|s| want_ids.contains(&s.idx)).count();
+            total += want.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn single_point_index() {
+        let base = gaussian_store(&mut vseeded(1), 1, 4, 1.0);
+        let hnsw = Hnsw::build(&base, HnswParams::default());
+        let got = hnsw.search_topk(&base, base.row(0), 1, SearchParams::default());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].idx, 0);
+    }
+
+    #[test]
+    fn base_graph_preserves_node_count_and_connectivity() {
+        let base = gaussian_store(&mut vseeded(5), 200, 8, 1.0);
+        let hnsw = Hnsw::build(&base, HnswParams::default());
+        let g = hnsw.base_graph();
+        assert_eq!(g.len(), 200);
+        // Base layer of HNSW should be well connected: BFS reaches most nodes.
+        let mut seen = [false; 200];
+        let mut stack = vec![g.entry()];
+        seen[g.entry() as usize] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(count as f64 >= 0.99 * 200.0, "reached {count}/200");
+    }
+
+    #[test]
+    fn degree_caps_respected() {
+        let base = gaussian_store(&mut vseeded(9), 300, 8, 1.0);
+        let params = HnswParams { m: 8, ef_construction: 64, seed: 2 };
+        let hnsw = Hnsw::build(&base, params);
+        for node in &hnsw.levels {
+            for (l, list) in node.iter().enumerate() {
+                let cap = if l == 0 { params.m * 2 } else { params.m };
+                assert!(list.len() <= cap, "level {l} degree {} > {cap}", list.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Abstraction over where key vectors physically live.
+//!
+//! Index traversal only needs two operations — "score this id against the
+//! query" and "copy this vector out" — so the search algorithms are generic
+//! over [`VectorSource`]. The in-memory implementation is
+//! [`alaya_vector::VecStore`]; `alaya-storage` provides a buffer-manager-
+//! backed implementation so the same DIPRS code runs over disk-resident KV
+//! caches (§7.3).
+
+use alaya_vector::{dot, VecStore};
+
+/// Read access to a collection of fixed-dimension vectors addressed by id.
+pub trait VectorSource {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of addressable vectors (ids are `0..len`).
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies vector `id` into `out` (`out.len() == dim()`).
+    fn load(&self, id: u32, out: &mut [f32]);
+
+    /// Inner product `q · vec[id]` — the hot path. In-memory sources score
+    /// without copying.
+    fn score(&self, q: &[f32], id: u32) -> f32 {
+        let mut buf = vec![0.0f32; self.dim()];
+        self.load(id, &mut buf);
+        dot(q, &buf)
+    }
+}
+
+impl VectorSource for VecStore {
+    fn dim(&self) -> usize {
+        VecStore::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        VecStore::len(self)
+    }
+
+    fn load(&self, id: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.row(id as usize));
+    }
+
+    fn score(&self, q: &[f32], id: u32) -> f32 {
+        self.dot_row(q, id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vecstore_source_round_trip() {
+        let s = VecStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(VectorSource::dim(&s), 2);
+        assert_eq!(VectorSource::len(&s), 2);
+        let mut buf = [0.0f32; 2];
+        s.load(1, &mut buf);
+        assert_eq!(buf, [3.0, 4.0]);
+        assert_eq!(s.score(&[1.0, 1.0], 0), 3.0);
+    }
+
+    #[test]
+    fn default_score_uses_load() {
+        // A minimal custom source exercising the default score() path.
+        struct Doubler;
+        impl VectorSource for Doubler {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn len(&self) -> usize {
+                3
+            }
+            fn load(&self, id: u32, out: &mut [f32]) {
+                out[0] = id as f32 * 2.0;
+                out[1] = 1.0;
+            }
+        }
+        assert_eq!(Doubler.score(&[1.0, 10.0], 2), 14.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Transformer structural hyperparameters.
+
+/// Structural configuration of a decoder-only transformer.
+///
+/// Mirrors the shape of Llama-style models: grouped-query attention with
+/// `n_q_heads` query heads sharing `n_kv_heads` key/value heads, rotary
+/// position embeddings, and a SwiGLU feed-forward block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelConfig {
+    /// Transformer layer count.
+    pub n_layers: usize,
+    /// Query heads per layer.
+    pub n_q_heads: usize,
+    /// Key/value heads per layer. Must divide `n_q_heads`.
+    pub n_kv_heads: usize,
+    /// Per-head dimensionality.
+    pub head_dim: usize,
+    /// Feed-forward inner width.
+    pub ffn_dim: usize,
+    /// Vocabulary size (including special tokens).
+    pub vocab_size: usize,
+    /// RoPE base frequency (Llama 3 uses 500000.0; small models use 10000.0).
+    pub rope_theta: f32,
+    /// RMSNorm epsilon.
+    pub norm_eps: f32,
+    /// Seed for deterministic weight generation.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// A minimal model for unit tests: fast to build and run, but with
+    /// genuine GQA structure (2 query heads per KV head).
+    pub fn tiny() -> Self {
+        Self {
+            n_layers: 2,
+            n_q_heads: 4,
+            n_kv_heads: 2,
+            head_dim: 16,
+            ffn_dim: 128,
+            vocab_size: 260 + 4, // byte tokenizer vocab
+            rope_theta: 10_000.0,
+            norm_eps: 1e-5,
+            seed: 0x41_4C_41_59, // "ALAY"
+        }
+    }
+
+    /// A mid-size model for examples and integration tests; same GQA ratio
+    /// as Llama-3-8B (4 query heads per KV head).
+    pub fn small() -> Self {
+        Self {
+            n_layers: 4,
+            n_q_heads: 8,
+            n_kv_heads: 2,
+            head_dim: 32,
+            ffn_dim: 512,
+            vocab_size: 260 + 4,
+            rope_theta: 10_000.0,
+            norm_eps: 1e-5,
+            seed: 0x41_4C_41_59,
+        }
+    }
+
+    /// Residual-stream width (`n_q_heads * head_dim`).
+    pub fn hidden_dim(&self) -> usize {
+        self.n_q_heads * self.head_dim
+    }
+
+    /// Combined width of all key/value heads.
+    pub fn kv_dim(&self) -> usize {
+        self.n_kv_heads * self.head_dim
+    }
+
+    /// Query heads per KV head (GQA group size).
+    pub fn gqa_group_size(&self) -> usize {
+        self.n_q_heads / self.n_kv_heads
+    }
+
+    /// Maps a query head to the KV head its group shares.
+    pub fn kv_head_of(&self, q_head: usize) -> usize {
+        q_head / self.gqa_group_size()
+    }
+
+    /// Validates internal consistency; panics with a descriptive message on
+    /// misconfiguration. Called by weight generation.
+    pub fn validate(&self) {
+        assert!(self.n_layers > 0, "model needs at least one layer");
+        assert!(self.n_q_heads > 0 && self.n_kv_heads > 0, "head counts must be positive");
+        assert_eq!(
+            self.n_q_heads % self.n_kv_heads,
+            0,
+            "n_q_heads must be a multiple of n_kv_heads for GQA"
+        );
+        assert!(self.head_dim > 0 && self.head_dim.is_multiple_of(2), "head_dim must be positive and even (RoPE rotates pairs)");
+        assert!(self.vocab_size > 0, "vocab must be non-empty");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_valid() {
+        let c = ModelConfig::tiny();
+        c.validate();
+        assert_eq!(c.hidden_dim(), 64);
+        assert_eq!(c.kv_dim(), 32);
+        assert_eq!(c.gqa_group_size(), 2);
+    }
+
+    #[test]
+    fn gqa_head_mapping() {
+        let c = ModelConfig::small();
+        assert_eq!(c.gqa_group_size(), 4);
+        assert_eq!(c.kv_head_of(0), 0);
+        assert_eq!(c.kv_head_of(3), 0);
+        assert_eq!(c.kv_head_of(4), 1);
+        assert_eq!(c.kv_head_of(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of n_kv_heads")]
+    fn invalid_gqa_ratio_panics() {
+        let mut c = ModelConfig::tiny();
+        c.n_kv_heads = 3;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_head_dim_panics() {
+        let mut c = ModelConfig::tiny();
+        c.head_dim = 15;
+        c.validate();
+    }
+}

@@ -1,0 +1,174 @@
+//! KV-cache containers.
+//!
+//! The KV cache is stored per `(layer, kv_head)` as a pair of [`VecStore`]s
+//! — exactly the granularity at which AlayaDB builds one vector index per KV
+//! head (with GQA sharing, §7.2) and at which the vector file system lays out
+//! one file per attention head per layer (§7.3).
+
+use alaya_vector::VecStore;
+
+/// Keys and values for one `(layer, kv_head)` pair.
+#[derive(Clone, Debug)]
+pub struct HeadKv {
+    /// Key vectors, row `i` = token `i` (RoPE already applied).
+    pub keys: VecStore,
+    /// Value vectors, row `i` = token `i`.
+    pub values: VecStore,
+}
+
+impl HeadKv {
+    /// Creates an empty per-head cache for `head_dim` vectors.
+    pub fn new(head_dim: usize) -> Self {
+        Self { keys: VecStore::new(head_dim), values: VecStore::new(head_dim) }
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends one token's key/value pair.
+    pub fn push(&mut self, k: &[f32], v: &[f32]) {
+        self.keys.push(k);
+        self.values.push(v);
+        debug_assert_eq!(self.keys.len(), self.values.len());
+    }
+
+    /// Copies the first `n` tokens into a new cache (prefix reuse).
+    pub fn prefix(&self, n: usize) -> HeadKv {
+        HeadKv { keys: self.keys.prefix(n), values: self.values.prefix(n) }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.keys.bytes() + self.values.bytes()
+    }
+}
+
+/// Full KV cache: `n_layers × n_kv_heads` per-head caches.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    heads: Vec<Vec<HeadKv>>,
+    head_dim: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache.
+    pub fn new(n_layers: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        let heads = (0..n_layers)
+            .map(|_| (0..n_kv_heads).map(|_| HeadKv::new(head_dim)).collect())
+            .collect();
+        Self { heads, head_dim }
+    }
+
+    /// Layer count.
+    pub fn n_layers(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// KV heads per layer.
+    pub fn n_kv_heads(&self) -> usize {
+        self.heads.first().map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Per-head vector dimensionality.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Cached sequence length (tokens) in `layer`. All heads of a layer
+    /// always hold the same number of tokens.
+    pub fn seq_len(&self, layer: usize) -> usize {
+        self.heads[layer].first().map(|h| h.len()).unwrap_or(0)
+    }
+
+    /// Borrows the cache of `(layer, kv_head)`.
+    pub fn head(&self, layer: usize, kv_head: usize) -> &HeadKv {
+        &self.heads[layer][kv_head]
+    }
+
+    /// Mutably borrows the cache of `(layer, kv_head)`.
+    pub fn head_mut(&mut self, layer: usize, kv_head: usize) -> &mut HeadKv {
+        &mut self.heads[layer][kv_head]
+    }
+
+    /// Appends one token's keys/values (one slice per KV head) to `layer`.
+    ///
+    /// # Panics
+    /// Panics if the number of keys or values differs from `n_kv_heads`.
+    pub fn push_token(&mut self, layer: usize, keys: &[Vec<f32>], values: &[Vec<f32>]) {
+        let layer_heads = &mut self.heads[layer];
+        assert_eq!(keys.len(), layer_heads.len(), "one key per KV head required");
+        assert_eq!(values.len(), layer_heads.len(), "one value per KV head required");
+        for ((h, k), v) in layer_heads.iter_mut().zip(keys).zip(values) {
+            h.push(k, v);
+        }
+    }
+
+    /// Copies the first `n` tokens of every head (prefix reuse for
+    /// `DB.create_session`'s longest-common-prefix logic).
+    pub fn prefix(&self, n: usize) -> KvCache {
+        KvCache {
+            heads: self
+                .heads
+                .iter()
+                .map(|layer| layer.iter().map(|h| h.prefix(n)).collect())
+                .collect(),
+            head_dim: self.head_dim,
+        }
+    }
+
+    /// Total heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.heads.iter().flatten().map(|h| h.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_token_updates_every_head() {
+        let mut kv = KvCache::new(2, 2, 4);
+        let ks = vec![vec![1.0; 4], vec![2.0; 4]];
+        let vs = vec![vec![3.0; 4], vec![4.0; 4]];
+        kv.push_token(0, &ks, &vs);
+        assert_eq!(kv.seq_len(0), 1);
+        assert_eq!(kv.seq_len(1), 0);
+        assert_eq!(kv.head(0, 1).keys.row(0), &[2.0; 4]);
+        assert_eq!(kv.head(0, 1).values.row(0), &[4.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per KV head")]
+    fn wrong_head_count_panics() {
+        let mut kv = KvCache::new(1, 2, 4);
+        kv.push_token(0, &[vec![0.0; 4]], &[vec![0.0; 4]]);
+    }
+
+    #[test]
+    fn prefix_truncates_all_heads() {
+        let mut kv = KvCache::new(1, 1, 2);
+        for i in 0..5 {
+            kv.push_token(0, &[vec![i as f32; 2]], &[vec![i as f32; 2]]);
+        }
+        let p = kv.prefix(3);
+        assert_eq!(p.seq_len(0), 3);
+        assert_eq!(p.head(0, 0).keys.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let kv = KvCache::new(3, 2, 8);
+        assert_eq!(kv.n_layers(), 3);
+        assert_eq!(kv.n_kv_heads(), 2);
+        assert_eq!(kv.head_dim(), 8);
+        assert!(kv.head(2, 1).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Byte-level tokenizer with special tokens.
+//!
+//! A deliberately simple tokenizer: each byte is a token, plus four special
+//! ids. It gives the substrate realistic token streams (prompt text maps to
+//! deterministic ids, round-trips losslessly) without a trained vocabulary.
+
+/// Byte-level tokenizer. Token ids `0..256` are raw bytes; ids `256..260`
+/// are the special tokens below.
+#[derive(Clone, Debug, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Beginning-of-sequence token.
+    pub const BOS: u32 = 256;
+    /// End-of-text token (`<eot>` in the paper's terminology).
+    pub const EOT: u32 = 257;
+    /// Padding token.
+    pub const PAD: u32 = 258;
+    /// Separator between a stored context and a user question.
+    pub const SEP: u32 = 259;
+    /// Total vocabulary size (bytes + specials).
+    pub const VOCAB_SIZE: usize = 260;
+
+    /// Creates the tokenizer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Encodes text into token ids (no BOS/EOT added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.bytes().map(|b| b as u32).collect()
+    }
+
+    /// Encodes text as a prompt: BOS + bytes.
+    pub fn encode_prompt(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::with_capacity(text.len() + 1);
+        out.push(Self::BOS);
+        out.extend(text.bytes().map(|b| b as u32));
+        out
+    }
+
+    /// Decodes token ids back into text. Special tokens render as readable
+    /// markers; invalid ids render as `\u{FFFD}`.
+    pub fn decode(&self, tokens: &[u32]) -> String {
+        let mut bytes = Vec::with_capacity(tokens.len());
+        let mut out = String::new();
+        let flush = |bytes: &mut Vec<u8>, out: &mut String| {
+            if !bytes.is_empty() {
+                out.push_str(&String::from_utf8_lossy(bytes));
+                bytes.clear();
+            }
+        };
+        for &t in tokens {
+            match t {
+                0..=255 => bytes.push(t as u8),
+                Self::BOS => {
+                    flush(&mut bytes, &mut out);
+                    out.push_str("<bos>");
+                }
+                Self::EOT => {
+                    flush(&mut bytes, &mut out);
+                    out.push_str("<eot>");
+                }
+                Self::PAD => {
+                    flush(&mut bytes, &mut out);
+                    out.push_str("<pad>");
+                }
+                Self::SEP => {
+                    flush(&mut bytes, &mut out);
+                    out.push_str("<sep>");
+                }
+                _ => {
+                    flush(&mut bytes, &mut out);
+                    out.push('\u{FFFD}');
+                }
+            }
+        }
+        flush(&mut bytes, &mut out);
+        out
+    }
+
+    /// Whether `token` terminates generation.
+    pub fn is_eot(&self, token: u32) -> bool {
+        token == Self::EOT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        let t = Tokenizer::new();
+        let ids = t.encode("What is a database system?");
+        assert_eq!(t.decode(&ids), "What is a database system?");
+    }
+
+    #[test]
+    fn utf8_round_trip() {
+        let t = Tokenizer::new();
+        let s = "数据库 🙂";
+        assert_eq!(t.decode(&t.encode(s)), s);
+    }
+
+    #[test]
+    fn prompt_has_bos() {
+        let t = Tokenizer::new();
+        let ids = t.encode_prompt("hi");
+        assert_eq!(ids[0], Tokenizer::BOS);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn specials_render_as_markers() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.decode(&[Tokenizer::BOS, b'a' as u32, Tokenizer::SEP, Tokenizer::EOT]),
+            "<bos>a<sep><eot>"
+        );
+    }
+
+    #[test]
+    fn invalid_id_is_replacement_char() {
+        let t = Tokenizer::new();
+        assert_eq!(t.decode(&[9999]), "\u{FFFD}");
+    }
+
+    #[test]
+    fn eot_detection() {
+        let t = Tokenizer::new();
+        assert!(t.is_eot(Tokenizer::EOT));
+        assert!(!t.is_eot(Tokenizer::BOS));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the transformer substrate.
+
+use alaya_llm::{AttentionBackend, FullKvBackend, Model, ModelConfig, Rope, Tokenizer};
+use alaya_vector::dot;
+use proptest::prelude::*;
+
+proptest! {
+    /// Byte-level tokenizer round-trips arbitrary strings.
+    #[test]
+    fn tokenizer_round_trip(s in ".{0,200}") {
+        let t = Tokenizer::new();
+        prop_assert_eq!(t.decode(&t.encode(&s)), s);
+    }
+
+    /// RoPE preserves norms and depends only on relative position, for
+    /// arbitrary vectors and positions.
+    #[test]
+    fn rope_properties(
+        x in prop::collection::vec(-3.0f32..3.0, 8),
+        y in prop::collection::vec(-3.0f32..3.0, 8),
+        p in 0usize..2000,
+        s in 0usize..2000,
+        shift in 0usize..500,
+    ) {
+        let rope = Rope::new(8, 10_000.0);
+        let norm = |v: &[f32]| dot(v, v).sqrt();
+
+        let mut xr = x.clone();
+        rope.apply(&mut xr, p);
+        prop_assert!((norm(&xr) - norm(&x)).abs() < 1e-3);
+
+        // <R_p x, R_s y> == <R_{p+shift} x, R_{s+shift} y>
+        let ip = |a_pos: usize, b_pos: usize| {
+            let mut a = x.clone();
+            let mut b = y.clone();
+            rope.apply(&mut a, a_pos);
+            rope.apply(&mut b, b_pos);
+            dot(&a, &b)
+        };
+        let base = ip(p, s);
+        let shifted = ip(p + shift, s + shift);
+        prop_assert!((base - shifted).abs() < 2e-2, "{base} vs {shifted}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Prefilling token-by-token is exactly equivalent to one prefill call
+    /// (the cache fully captures sequence state).
+    #[test]
+    fn incremental_prefill_equals_batch(tokens in prop::collection::vec(0u32..255, 2..12)) {
+        let cfg = ModelConfig::tiny();
+        let model = Model::new(cfg.clone());
+
+        let mut all_at_once = FullKvBackend::new(&cfg);
+        let a = model.prefill(&tokens, 0, &mut all_at_once);
+
+        let mut stepwise = FullKvBackend::new(&cfg);
+        let mut b = Vec::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            b = model.forward_token(t, i, &mut stepwise);
+        }
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(all_at_once.seq_len(0), stepwise.seq_len(0));
+    }
+
+    /// Logits are always finite regardless of input tokens.
+    #[test]
+    fn logits_always_finite(tokens in prop::collection::vec(0u32..260, 1..10)) {
+        let cfg = ModelConfig::tiny();
+        let model = Model::new(cfg.clone());
+        let mut backend = FullKvBackend::new(&cfg);
+        let logits = model.prefill(&tokens, 0, &mut backend);
+        prop_assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

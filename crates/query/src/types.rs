@@ -1,0 +1,113 @@
+//! Query and index type vocabulary of the optimizer.
+
+/// Converts the attention-score proportion threshold `α` of Definition 1
+/// into the inner-product margin `β` of Definition 2.
+///
+/// Theorem 1: `a_ij ≥ α · max_s(a_is)` ⇔ `q·k_j ≥ max_s(q·k_s) − β` with
+/// `β = −√d · ln(α)`.
+pub fn beta_from_alpha(alpha: f32, head_dim: usize) -> f32 {
+    assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+    -((head_dim as f32).sqrt()) * alpha.ln()
+}
+
+/// The query types of the optimizer's query-type module (§6.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryType {
+    /// Traditional top-k: a fixed number of critical tokens.
+    TopK {
+        /// Number of tokens to retrieve.
+        k: usize,
+    },
+    /// Dynamic Inner-Product Range query (Definition 3): every token within
+    /// `beta` of the maximum inner product.
+    Dipr {
+        /// Inner-product margin β ≥ 0.
+        beta: f32,
+    },
+}
+
+/// The index families of the optimizer's index-type module (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// Coarse-grained block index (InfLLM/Quest style), GPU-resident.
+    Coarse,
+    /// Fine-grained graph index (RoarGraph), CPU-resident.
+    Fine,
+    /// Flat sequential scan, CPU-resident.
+    Flat,
+}
+
+/// Attribute-filtering predicate for partial context reuse (§7.1): only
+/// tokens of the reused prefix may be retrieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixFilter {
+    /// Length of the reused prefix; token ids `< prefix_len` pass.
+    pub prefix_len: usize,
+}
+
+impl PrefixFilter {
+    /// Whether token `id` satisfies the predicate.
+    #[inline]
+    pub fn accepts(&self, id: u32) -> bool {
+        (id as usize) < self.prefix_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_one_round_trip() {
+        // For any α, keys pass the score test iff they pass the IP test.
+        // Verify numerically on a tiny softmax.
+        let d = 64usize;
+        let alpha = 0.25f32;
+        let beta = beta_from_alpha(alpha, d);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let ips = [8.0f32, 6.5, 2.0, -1.0];
+        let zs: Vec<f32> = ips.iter().map(|ip| ip * scale).collect();
+        let exps: Vec<f32> = zs.iter().map(|z| z.exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let scores: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+        let max_score = scores.iter().cloned().fold(f32::MIN, f32::max);
+        let max_ip = ips.iter().cloned().fold(f32::MIN, f32::max);
+
+        for (ip, score) in ips.iter().zip(&scores) {
+            let by_score = *score >= alpha * max_score;
+            let by_ip = *ip >= max_ip - beta;
+            assert_eq!(by_score, by_ip, "ip={ip}");
+        }
+    }
+
+    #[test]
+    fn beta_monotone_in_alpha() {
+        // Smaller α (looser criticality) ⇒ larger β (wider band).
+        let d = 128;
+        assert!(beta_from_alpha(0.1, d) > beta_from_alpha(0.5, d));
+        assert_eq!(beta_from_alpha(1.0, d), 0.0);
+    }
+
+    #[test]
+    fn paper_beta_values_are_plausible() {
+        // §9.1.1 uses β = 50 for head_dim 128; that corresponds to a small α.
+        let alpha = (-50.0f32 / (128.0f32).sqrt()).exp();
+        assert!(alpha > 0.0 && alpha < 0.05, "alpha {alpha}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_rejected() {
+        beta_from_alpha(0.0, 64);
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let f = PrefixFilter { prefix_len: 3 };
+        assert!(f.accepts(0));
+        assert!(f.accepts(2));
+        assert!(!f.accepts(3));
+        assert!(!f.accepts(100));
+    }
+}

@@ -1,0 +1,244 @@
+//! Block devices: the lowest storage layer.
+//!
+//! The paper's vector file system runs on SPDK to bypass the kernel I/O
+//! path. The trait below captures what the upper layers actually need —
+//! fixed-size block reads/writes and growth — so the SPDK substitution is a
+//! drop-in: [`FileDevice`] uses positional file I/O, [`MemDevice`] serves
+//! tests and latency-isolated benchmarks.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// A fixed-block-size random-access storage device.
+pub trait BlockDevice: Send + Sync {
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Current number of allocated blocks.
+    fn n_blocks(&self) -> u64;
+
+    /// Reads block `block` into `buf` (`buf.len() == block_size`).
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Writes `data` (`data.len() == block_size`) to block `block`.
+    fn write_block(&self, block: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Extends the device by `n` blocks, returning the first new block id.
+    fn grow(&self, n: u64) -> io::Result<u64>;
+
+    /// Flushes device caches.
+    fn sync(&self) -> io::Result<()>;
+}
+
+/// File-backed block device using positional reads/writes.
+pub struct FileDevice {
+    file: File,
+    block_size: usize,
+    n_blocks: AtomicU64,
+}
+
+impl FileDevice {
+    /// Creates (or truncates) a device file at `path`.
+    pub fn create(path: &Path, block_size: usize) -> io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(Self { file, block_size, n_blocks: AtomicU64::new(0) })
+    }
+
+    /// Opens an existing device file.
+    pub fn open(path: &Path, block_size: usize) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % block_size as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file length is not a multiple of the block size",
+            ));
+        }
+        Ok(Self { file, block_size, n_blocks: AtomicU64::new(len / block_size as u64) })
+    }
+
+    fn check_range(&self, block: u64) -> io::Result<()> {
+        if block >= self.n_blocks() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("block {block} out of range ({} blocks)", self.n_blocks()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn n_blocks(&self) -> u64 {
+        self.n_blocks.load(Ordering::Acquire)
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), self.block_size);
+        self.check_range(block)?;
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, block * self.block_size as u64)
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(data.len(), self.block_size);
+        self.check_range(block)?;
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, block * self.block_size as u64)
+    }
+
+    fn grow(&self, n: u64) -> io::Result<u64> {
+        let first = self.n_blocks.fetch_add(n, Ordering::AcqRel);
+        self.file.set_len((first + n) * self.block_size as u64)?;
+        Ok(first)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// In-memory block device for tests and isolation benchmarks.
+pub struct MemDevice {
+    blocks: RwLock<Vec<Box<[u8]>>>,
+    block_size: usize,
+}
+
+impl MemDevice {
+    /// Creates an empty in-memory device.
+    pub fn new(block_size: usize) -> Self {
+        Self { blocks: RwLock::new(Vec::new()), block_size }
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn n_blocks(&self) -> u64 {
+        self.blocks.read().len() as u64
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> io::Result<()> {
+        let blocks = self.blocks.read();
+        let src = blocks.get(block as usize).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("block {block} out of range"))
+        })?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> io::Result<()> {
+        let mut blocks = self.blocks.write();
+        let dst = blocks.get_mut(block as usize).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("block {block} out of range"))
+        })?;
+        dst.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn grow(&self, n: u64) -> io::Result<u64> {
+        let mut blocks = self.blocks.write();
+        let first = blocks.len() as u64;
+        for _ in 0..n {
+            blocks.push(vec![0u8; self.block_size].into_boxed_slice());
+        }
+        Ok(first)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(dev: &dyn BlockDevice) {
+        let bs = dev.block_size();
+        assert_eq!(dev.n_blocks(), 0);
+        let first = dev.grow(3).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(dev.n_blocks(), 3);
+
+        let data: Vec<u8> = (0..bs).map(|i| (i % 251) as u8).collect();
+        dev.write_block(1, &data).unwrap();
+        let mut buf = vec![0u8; bs];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, data);
+
+        // Unwritten blocks read back zeroed.
+        dev.read_block(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+
+        // Out-of-range access errors.
+        assert!(dev.read_block(3, &mut buf).is_err());
+        assert!(dev.write_block(99, &data).is_err());
+        dev.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_device_round_trip() {
+        round_trip(&MemDevice::new(512));
+    }
+
+    #[test]
+    fn file_device_round_trip() {
+        let dir = std::env::temp_dir().join(format!("alaya-dev-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.avfs");
+        round_trip(&FileDevice::create(&path, 512).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_device_reopen_preserves_contents() {
+        let dir = std::env::temp_dir().join(format!("alaya-dev-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.avfs");
+        let data: Vec<u8> = (0..256).map(|i| (i % 256) as u8).collect();
+        {
+            let dev = FileDevice::create(&path, 256).unwrap();
+            dev.grow(2).unwrap();
+            dev.write_block(1, &data).unwrap();
+            dev.sync().unwrap();
+        }
+        let dev = FileDevice::open(&path, 256).unwrap();
+        assert_eq!(dev.n_blocks(), 2);
+        let mut buf = vec![0u8; 256];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_mem_device_access() {
+        let dev = std::sync::Arc::new(MemDevice::new(128));
+        dev.grow(64).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u8 {
+                let dev = dev.clone();
+                s.spawn(move || {
+                    let data = vec![t; 128];
+                    for b in (t as u64..64).step_by(8) {
+                        dev.write_block(b, &data).unwrap();
+                        let mut buf = vec![0u8; 128];
+                        dev.read_block(b, &mut buf).unwrap();
+                        assert_eq!(buf, data);
+                    }
+                });
+            }
+        });
+    }
+}

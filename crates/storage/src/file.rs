@@ -1,0 +1,539 @@
+//! The vector file: one attention head's vectors + graph index on disk.
+//!
+//! Layout (§7.3 "Vector File Systems"): each vector file stores the vectors
+//! of one attention head in one layer, organized into fixed-size blocks
+//! where *vector data* and the *vector index* (graph adjacency) live in
+//! different block types. Index blocks are linked into a chain so the graph
+//! can be loaded incrementally; data blocks are chained for recovery and
+//! mapped in memory for O(1) id→block translation; freed blocks go to a
+//! free list and are recycled, so inserting or replacing data never
+//! restructures the file.
+//!
+//! ```text
+//! block 0   : superblock  (magic, dim, n_vectors, chain roots)
+//! block i   : [header: kind u8 | pad | payload_len u32 | next u64][payload]
+//! data chain : packed f32 vectors, vectors_per_block per block
+//! graph chain: NeighborGraph::to_bytes() split across payloads
+//! free chain : recycled blocks
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::{BlockKind, BufferManager, FileId};
+use crate::device::BlockDevice;
+use crate::{Result, StorageError};
+
+/// Byte offset of the payload within every non-super block.
+const HEADER_LEN: usize = 16;
+/// Superblock magic.
+const MAGIC: &[u8; 4] = b"AVFS";
+/// Layout version.
+const VERSION: u32 = 1;
+/// Sentinel for "no block".
+const NIL: u64 = u64::MAX;
+
+/// Mutable file metadata guarded by one mutex.
+struct FileState {
+    n_vectors: u64,
+    /// Logical data-block index → physical block id.
+    data_blocks: Vec<u64>,
+    data_tail: u64,
+    graph_head: u64,
+    graph_bytes: u64,
+    free_head: u64,
+}
+
+/// A vector file handle. All I/O goes through the shared buffer pool.
+pub struct VectorFile {
+    mgr: Arc<BufferManager>,
+    file: FileId,
+    dim: usize,
+    block_size: usize,
+    payload_cap: usize,
+    vectors_per_block: usize,
+    state: Mutex<FileState>,
+}
+
+impl VectorFile {
+    /// Formats `device` as an empty vector file for `dim`-dimensional
+    /// vectors and registers it with the buffer pool.
+    pub fn create(
+        mgr: Arc<BufferManager>,
+        device: Arc<dyn BlockDevice>,
+        dim: usize,
+    ) -> Result<Self> {
+        assert!(dim > 0, "dimensionality must be positive");
+        let block_size = device.block_size();
+        let payload_cap = block_size - HEADER_LEN;
+        assert!(payload_cap >= dim * 4, "block too small for a single vector");
+        if device.n_blocks() == 0 {
+            device.grow(1)?;
+        }
+        let file = mgr.register(device);
+        let vf = Self {
+            mgr,
+            file,
+            dim,
+            block_size,
+            payload_cap,
+            vectors_per_block: payload_cap / (dim * 4),
+            state: Mutex::new(FileState {
+                n_vectors: 0,
+                data_blocks: Vec::new(),
+                data_tail: NIL,
+                graph_head: NIL,
+                graph_bytes: 0,
+                free_head: NIL,
+            }),
+        };
+        vf.write_super(&vf.state.lock())?;
+        Ok(vf)
+    }
+
+    /// Opens an existing vector file, rebuilding the in-memory block map by
+    /// walking the data chain.
+    pub fn open(mgr: Arc<BufferManager>, device: Arc<dyn BlockDevice>) -> Result<Self> {
+        let block_size = device.block_size();
+        if device.n_blocks() == 0 {
+            return Err(StorageError::Corrupt("empty device".into()));
+        }
+        let file = mgr.register(device);
+
+        // Parse the superblock.
+        let guard = mgr.pin(file, 0, BlockKind::Super)?;
+        let (dim, n_vectors, data_head, graph_head, graph_bytes, free_head) =
+            guard.read(|buf| -> Result<_> {
+                if &buf[0..4] != MAGIC {
+                    return Err(StorageError::Corrupt("bad magic".into()));
+                }
+                let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                if version != VERSION {
+                    return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+                }
+                let dim = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+                let n_vectors = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+                let data_head = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+                let graph_head = u64::from_le_bytes(buf[32..40].try_into().unwrap());
+                let graph_bytes = u64::from_le_bytes(buf[40..48].try_into().unwrap());
+                let free_head = u64::from_le_bytes(buf[48..56].try_into().unwrap());
+                Ok((dim, n_vectors, data_head, graph_head, graph_bytes, free_head))
+            })?;
+        drop(guard);
+
+        let payload_cap = block_size - HEADER_LEN;
+        let vectors_per_block = payload_cap / (dim * 4);
+
+        // Walk the data chain.
+        let mut data_blocks = Vec::new();
+        let mut cur = data_head;
+        while cur != NIL {
+            data_blocks.push(cur);
+            let g = mgr.pin(file, cur, BlockKind::Data)?;
+            cur = g.read(|buf| u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+            if data_blocks.len() as u64 > mgr.device(file).n_blocks() {
+                return Err(StorageError::Corrupt("data chain cycle".into()));
+            }
+        }
+        let needed = (n_vectors as usize).div_ceil(vectors_per_block.max(1));
+        if data_blocks.len() < needed {
+            return Err(StorageError::Corrupt(format!(
+                "data chain has {} blocks, {} vectors need {}",
+                data_blocks.len(),
+                n_vectors,
+                needed
+            )));
+        }
+
+        let data_tail = data_blocks.last().copied().unwrap_or(NIL);
+        Ok(Self {
+            mgr,
+            file,
+            dim,
+            block_size,
+            payload_cap,
+            vectors_per_block,
+            state: Mutex::new(FileState {
+                n_vectors,
+                data_blocks,
+                data_tail,
+                graph_head,
+                graph_bytes,
+                free_head,
+            }),
+        })
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Stored vector count.
+    pub fn n_vectors(&self) -> usize {
+        self.state.lock().n_vectors as usize
+    }
+
+    /// Device block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Vectors packed per data block.
+    pub fn vectors_per_block(&self) -> usize {
+        self.vectors_per_block
+    }
+
+    /// The buffer pool this file reads through.
+    pub fn buffer(&self) -> &Arc<BufferManager> {
+        &self.mgr
+    }
+
+    fn write_super(&self, st: &FileState) -> Result<()> {
+        let guard = self.mgr.pin(self.file, 0, BlockKind::Super)?;
+        guard.write(|buf| {
+            buf[0..4].copy_from_slice(MAGIC);
+            buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
+            buf[8..12].copy_from_slice(&(self.dim as u32).to_le_bytes());
+            buf[12..16].fill(0);
+            buf[16..24].copy_from_slice(&st.n_vectors.to_le_bytes());
+            let data_head = st.data_blocks.first().copied().unwrap_or(NIL);
+            buf[24..32].copy_from_slice(&data_head.to_le_bytes());
+            buf[32..40].copy_from_slice(&st.graph_head.to_le_bytes());
+            buf[40..48].copy_from_slice(&st.graph_bytes.to_le_bytes());
+            buf[48..56].copy_from_slice(&st.free_head.to_le_bytes());
+        });
+        Ok(())
+    }
+
+    /// Allocates a block: recycles the free-list head or grows the device.
+    fn alloc_block(&self, st: &mut FileState, kind: BlockKind) -> Result<u64> {
+        let block = if st.free_head != NIL {
+            let b = st.free_head;
+            let g = self.mgr.pin(self.file, b, BlockKind::Free)?;
+            st.free_head = g.read(|buf| u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+            b
+        } else {
+            self.mgr.device(self.file).grow(1)?
+        };
+        let g = self.mgr.pin(self.file, block, kind)?;
+        g.write(|buf| {
+            buf.fill(0);
+            buf[0] = kind.to_byte();
+            buf[4..8].copy_from_slice(&0u32.to_le_bytes());
+            buf[8..16].copy_from_slice(&NIL.to_le_bytes());
+        });
+        Ok(block)
+    }
+
+    /// Pushes `block` onto the free list.
+    fn free_block(&self, st: &mut FileState, block: u64) -> Result<()> {
+        let g = self.mgr.pin(self.file, block, BlockKind::Free)?;
+        let next = st.free_head;
+        g.write(|buf| {
+            buf[0] = BlockKind::Free.to_byte();
+            buf[8..16].copy_from_slice(&next.to_le_bytes());
+        });
+        st.free_head = block;
+        Ok(())
+    }
+
+    /// Appends one vector, returning its id.
+    pub fn append(&self, v: &[f32]) -> Result<u32> {
+        assert_eq!(v.len(), self.dim, "vector has wrong dimensionality");
+        let mut st = self.state.lock();
+        let vid = st.n_vectors;
+        let slot = (vid as usize) % self.vectors_per_block;
+        if slot == 0 {
+            // Start a new data block and link it from the tail.
+            let nb = self.alloc_block(&mut st, BlockKind::Data)?;
+            if st.data_tail != NIL {
+                let tail = self.mgr.pin(self.file, st.data_tail, BlockKind::Data)?;
+                tail.write(|buf| buf[8..16].copy_from_slice(&nb.to_le_bytes()));
+            }
+            st.data_blocks.push(nb);
+            st.data_tail = nb;
+        }
+        let block = *st.data_blocks.last().expect("data block exists");
+        let guard = self.mgr.pin(self.file, block, BlockKind::Data)?;
+        guard.write(|buf| {
+            let off = HEADER_LEN + slot * self.dim * 4;
+            for (i, &x) in v.iter().enumerate() {
+                buf[off + i * 4..off + i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+            }
+            let payload = ((slot + 1) * self.dim * 4) as u32;
+            buf[4..8].copy_from_slice(&payload.to_le_bytes());
+        });
+        st.n_vectors += 1;
+        self.write_super(&st)?;
+        Ok(vid as u32)
+    }
+
+    /// Reads vector `id` into `out`.
+    pub fn read_vector(&self, id: u32, out: &mut [f32]) -> Result<()> {
+        assert_eq!(out.len(), self.dim, "output buffer has wrong dimensionality");
+        let (block, slot) = {
+            let st = self.state.lock();
+            if id as u64 >= st.n_vectors {
+                return Err(StorageError::Corrupt(format!(
+                    "vector {id} out of range ({} stored)",
+                    st.n_vectors
+                )));
+            }
+            let logical = id as usize / self.vectors_per_block;
+            (st.data_blocks[logical], id as usize % self.vectors_per_block)
+        };
+        let guard = self.mgr.pin(self.file, block, BlockKind::Data)?;
+        guard.read(|buf| {
+            let off = HEADER_LEN + slot * self.dim * 4;
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f32::from_le_bytes(buf[off + i * 4..off + i * 4 + 4].try_into().unwrap());
+            }
+        });
+        Ok(())
+    }
+
+    /// Inner product of `q` with vector `id`, computed inside the pinned
+    /// block (no copy out).
+    pub fn score(&self, q: &[f32], id: u32) -> Result<f32> {
+        debug_assert_eq!(q.len(), self.dim);
+        let (block, slot) = {
+            let st = self.state.lock();
+            if id as u64 >= st.n_vectors {
+                return Err(StorageError::Corrupt(format!("vector {id} out of range")));
+            }
+            let logical = id as usize / self.vectors_per_block;
+            (st.data_blocks[logical], id as usize % self.vectors_per_block)
+        };
+        let guard = self.mgr.pin(self.file, block, BlockKind::Data)?;
+        Ok(guard.read(|buf| {
+            let off = HEADER_LEN + slot * self.dim * 4;
+            let mut acc = 0.0f32;
+            for (i, &qi) in q.iter().enumerate() {
+                let x = f32::from_le_bytes(buf[off + i * 4..off + i * 4 + 4].try_into().unwrap());
+                acc += qi * x;
+            }
+            acc
+        }))
+    }
+
+    /// Replaces the stored graph index with `bytes`, recycling the old
+    /// chain's blocks through the free list.
+    pub fn write_graph(&self, bytes: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+
+        // Free the existing chain.
+        let mut cur = st.graph_head;
+        while cur != NIL {
+            let g = self.mgr.pin(self.file, cur, BlockKind::Index)?;
+            let next = g.read(|buf| u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+            drop(g);
+            self.free_block(&mut st, cur)?;
+            cur = next;
+        }
+        st.graph_head = NIL;
+        st.graph_bytes = 0;
+
+        // Write the new chain.
+        let mut prev: Option<u64> = None;
+        for chunk in bytes.chunks(self.payload_cap) {
+            let b = self.alloc_block(&mut st, BlockKind::Index)?;
+            let g = self.mgr.pin(self.file, b, BlockKind::Index)?;
+            g.write(|buf| {
+                buf[0] = BlockKind::Index.to_byte();
+                buf[4..8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+                buf[8..16].copy_from_slice(&NIL.to_le_bytes());
+                buf[HEADER_LEN..HEADER_LEN + chunk.len()].copy_from_slice(chunk);
+            });
+            match prev {
+                None => st.graph_head = b,
+                Some(p) => {
+                    let pg = self.mgr.pin(self.file, p, BlockKind::Index)?;
+                    pg.write(|buf| buf[8..16].copy_from_slice(&b.to_le_bytes()));
+                }
+            }
+            prev = Some(b);
+        }
+        st.graph_bytes = bytes.len() as u64;
+        self.write_super(&st)
+    }
+
+    /// Reads the stored graph index, if any.
+    pub fn read_graph(&self) -> Result<Option<Vec<u8>>> {
+        let (head, total) = {
+            let st = self.state.lock();
+            (st.graph_head, st.graph_bytes as usize)
+        };
+        if head == NIL {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(total);
+        let mut cur = head;
+        while cur != NIL && out.len() < total {
+            let g = self.mgr.pin(self.file, cur, BlockKind::Index)?;
+            cur = g.read(|buf| {
+                let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+                out.extend_from_slice(&buf[HEADER_LEN..HEADER_LEN + len]);
+                u64::from_le_bytes(buf[8..16].try_into().unwrap())
+            });
+        }
+        if out.len() != total {
+            return Err(StorageError::Corrupt(format!(
+                "graph chain yielded {} bytes, superblock says {}",
+                out.len(),
+                total
+            )));
+        }
+        Ok(Some(out))
+    }
+
+    /// Flushes all dirty blocks of the shared pool.
+    pub fn flush(&self) -> Result<()> {
+        self.mgr.flush()
+    }
+}
+
+// Re-export for lib.rs convenience.
+pub use crate::buffer::BlockKind as FileBlockKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn new_file(dim: usize) -> VectorFile {
+        let mgr = BufferManager::new(64);
+        let dev = Arc::new(MemDevice::new(256));
+        VectorFile::create(mgr, dev, dim).unwrap()
+    }
+
+    #[test]
+    fn append_and_read_across_blocks() {
+        let f = new_file(8); // payload 240 → 7 vectors/block
+        assert_eq!(f.vectors_per_block(), 7);
+        for i in 0..20 {
+            let v: Vec<f32> = (0..8).map(|d| (i * 8 + d) as f32).collect();
+            let id = f.append(&v).unwrap();
+            assert_eq!(id, i as u32);
+        }
+        assert_eq!(f.n_vectors(), 20);
+        let mut buf = [0.0f32; 8];
+        for i in [0u32, 6, 7, 13, 19] {
+            f.read_vector(i, &mut buf).unwrap();
+            let want: Vec<f32> = (0..8).map(|d| (i * 8 + d as u32) as f32).collect();
+            assert_eq!(buf.to_vec(), want);
+        }
+    }
+
+    #[test]
+    fn score_matches_read_then_dot() {
+        let f = new_file(4);
+        f.append(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let q = [1.0, 1.0, 0.5, -1.0];
+        let s = f.score(&q, 0).unwrap();
+        assert!((s - (1.0 + 2.0 + 1.5 - 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_read_is_error() {
+        let f = new_file(4);
+        f.append(&[0.0; 4]).unwrap();
+        let mut buf = [0.0f32; 4];
+        assert!(f.read_vector(1, &mut buf).is_err());
+        assert!(f.score(&[0.0; 4], 5).is_err());
+    }
+
+    #[test]
+    fn graph_round_trip_and_recycling() {
+        let f = new_file(4);
+        // Graph larger than one block payload to exercise chaining.
+        let graph_a: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        f.write_graph(&graph_a).unwrap();
+        assert_eq!(f.read_graph().unwrap().unwrap(), graph_a);
+
+        let blocks_after_a = f.buffer().device(f.file).n_blocks();
+        // Rewriting a same-size graph must recycle the freed chain, not grow.
+        let graph_b: Vec<u8> = (0..1000).map(|i| ((i + 7) % 256) as u8).collect();
+        f.write_graph(&graph_b).unwrap();
+        assert_eq!(f.read_graph().unwrap().unwrap(), graph_b);
+        let blocks_after_b = f.buffer().device(f.file).n_blocks();
+        assert_eq!(blocks_after_a, blocks_after_b, "free list must recycle blocks");
+    }
+
+    #[test]
+    fn empty_graph_reads_none() {
+        let f = new_file(4);
+        assert!(f.read_graph().unwrap().is_none());
+    }
+
+    #[test]
+    fn persist_and_reopen() {
+        let dev = Arc::new(MemDevice::new(256));
+        {
+            let mgr = BufferManager::new(64);
+            let f = VectorFile::create(mgr, dev.clone(), 4).unwrap();
+            for i in 0..10 {
+                f.append(&[i as f32; 4]).unwrap();
+            }
+            f.write_graph(&[9, 8, 7, 6, 5]).unwrap();
+            f.flush().unwrap();
+        }
+        // Fresh pool, same device: everything must come back.
+        let mgr = BufferManager::new(64);
+        let f = VectorFile::open(mgr, dev).unwrap();
+        assert_eq!(f.n_vectors(), 10);
+        assert_eq!(f.dim(), 4);
+        let mut buf = [0.0f32; 4];
+        f.read_vector(7, &mut buf).unwrap();
+        assert_eq!(buf, [7.0; 4]);
+        assert_eq!(f.read_graph().unwrap().unwrap(), vec![9, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let dev = Arc::new(MemDevice::new(256));
+        dev.grow(1).unwrap();
+        let mut junk = vec![0u8; 256];
+        junk[0..4].copy_from_slice(b"NOPE");
+        dev.write_block(0, &junk).unwrap();
+        let mgr = BufferManager::new(8);
+        assert!(VectorFile::open(mgr, dev).is_err());
+    }
+
+    #[test]
+    fn interleaved_data_and_graph_blocks() {
+        // Appends after a graph write land in new blocks without disturbing
+        // the graph chain (insertion without restructuring).
+        let f = new_file(8);
+        for i in 0..10 {
+            f.append(&[i as f32; 8]).unwrap();
+        }
+        let graph: Vec<u8> = vec![1, 2, 3, 4];
+        f.write_graph(&graph).unwrap();
+        for i in 10..20 {
+            f.append(&[i as f32; 8]).unwrap();
+        }
+        assert_eq!(f.read_graph().unwrap().unwrap(), graph);
+        let mut buf = [0.0f32; 8];
+        f.read_vector(19, &mut buf).unwrap();
+        assert_eq!(buf, [19.0; 8]);
+    }
+
+    #[test]
+    fn works_under_tiny_buffer_pool() {
+        // Pool smaller than the working set: eviction must be transparent.
+        let mgr = BufferManager::new(2);
+        let dev = Arc::new(MemDevice::new(256));
+        let f = VectorFile::create(mgr, dev, 8).unwrap();
+        for i in 0..50 {
+            f.append(&[i as f32; 8]).unwrap();
+        }
+        let mut buf = [0.0f32; 8];
+        for i in (0..50).rev() {
+            f.read_vector(i as u32, &mut buf).unwrap();
+            assert_eq!(buf, [i as f32; 8]);
+        }
+        assert!(f.buffer().stats().evictions() > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Dense `f32` vector and matrix primitives for AlayaDB.
+//!
+//! This crate is the numeric substrate shared by every other AlayaDB crate:
+//!
+//! * [`VecStore`] — a contiguous, row-major collection of equal-dimension
+//!   vectors (the in-memory representation of a key or value matrix for one
+//!   attention head),
+//! * [`ops`] — inner products, axpy, normalization and related kernels,
+//! * [`softmax`] — numerically-stable softmax and the streaming
+//!   (FlashAttention-style) log-sum-exp accumulator used by the data-centric
+//!   attention engine,
+//! * [`topk`] — partial selection utilities used by flat scans,
+//! * [`rng`] — deterministic random vector generators used by the transformer
+//!   substrate, the index builders and the synthetic workloads.
+//!
+//! Everything here is pure CPU `f32` code with no unsafe and no external
+//! BLAS; kernels are written so that LLVM auto-vectorizes them (simple
+//! unrolled loops over slices).
+
+pub mod ops;
+pub mod rng;
+pub mod softmax;
+pub mod store;
+pub mod topk;
+
+pub use ops::{argmax, axpy, dot, l2_norm, l2_sq, normalize, scale};
+pub use softmax::{log_sum_exp, softmax_in_place, OnlineSoftmax};
+pub use store::VecStore;
+pub use topk::{top_k_indices, ScoredIdx};

@@ -1,0 +1,167 @@
+//! Scalar vector kernels: inner product, axpy, scaling, norms.
+//!
+//! The inner product is the single hottest operation in AlayaDB — it is the
+//! scoring function of every query type (Definition 2 in the paper reduces
+//! critical-token membership to an inner-product threshold). The kernels are
+//! written as 4-way unrolled slice loops, which LLVM reliably vectorizes on
+//! x86-64 and aarch64 without any `unsafe`.
+
+/// Inner product `a · b`.
+///
+/// Both slices must have equal length; this is asserted in debug builds and
+/// relied upon (but unchecked) in release builds to keep the kernel branch
+/// free.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..n {
+        tail += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// `y += alpha * x` (the BLAS `axpy` primitive).
+///
+/// Used to accumulate `a_ij * v_j` terms into an attention output vector.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn l2_norm(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Normalizes `x` to unit length in place. Zero vectors are left unchanged.
+#[inline]
+pub fn normalize(x: &mut [f32]) {
+    let n = l2_norm(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Squared Euclidean distance `‖a − b‖₂²`.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (ai, bi) in a.iter().zip(b.iter()) {
+        let d = ai - bi;
+        s += d * d;
+    }
+    s
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+/// Returns `None` for an empty slice.
+#[inline]
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_v = x[0];
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn dot_matches_naive_for_all_tail_lengths() {
+        // Exercise every remainder class of the 4-way unroll.
+        for n in 0..=13 {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+            let got = dot(&a, &b);
+            let want = naive_dot(&a, &b);
+            assert!((got - want).abs() < 1e-4, "n={n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0, 31.5]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0, 4.0];
+        scale(&mut x, -2.0);
+        assert_eq!(x, [-2.0, 4.0, -8.0]);
+    }
+
+    #[test]
+    fn l2_norm_of_axis_vectors() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut x = [3.0, 4.0];
+        normalize(&mut x);
+        assert!((l2_norm(&x) - 1.0).abs() < 1e-6);
+        // Zero vector stays zero rather than becoming NaN.
+        let mut z = [0.0f32; 4];
+        normalize(&mut z);
+        assert_eq!(z, [0.0; 4]);
+    }
+
+    #[test]
+    fn l2_sq_basic() {
+        assert_eq!(l2_sq(&[1.0, 2.0], &[4.0, 6.0]), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn argmax_ties_and_empty() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[-5.0, -1.0, -3.0]), Some(1));
+    }
+}

@@ -1,0 +1,278 @@
+//! Numerically-stable softmax and the streaming log-sum-exp accumulator.
+//!
+//! [`OnlineSoftmax`] implements the FlashAttention-style online softmax: a
+//! running `(max, sum, weighted-output)` triple that can absorb attention
+//! scores one partition at a time and can *merge* with another accumulator.
+//! The merge identity is what the paper's data-centric attention engine
+//! (§7.2) relies on: partial attention over the GPU-cached window and partial
+//! attention over the CPU-retrieved tokens are computed independently and
+//! aggregated into the exact same output full softmax attention would give
+//! over the union of the two token sets.
+
+use crate::ops::axpy;
+
+/// In-place numerically-stable softmax. Empty input is a no-op.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for xi in x.iter_mut() {
+        *xi = (*xi - m).exp();
+        sum += *xi;
+    }
+    if sum > 0.0 {
+        for xi in x.iter_mut() {
+            *xi /= sum;
+        }
+    }
+}
+
+/// `log(Σ exp(x_i))`, computed stably. Returns `-inf` for empty input.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if m == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let s: f32 = x.iter().map(|&xi| (xi - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Streaming softmax-weighted vector accumulator.
+///
+/// Maintains the invariant that after absorbing scores `z_1..z_n` with value
+/// vectors `v_1..v_n`, [`OnlineSoftmax::output`] equals
+/// `Σ softmax(z)_i · v_i` exactly (up to f32 rounding), regardless of how the
+/// scores were partitioned across [`OnlineSoftmax::push`] and
+/// [`OnlineSoftmax::merge`] calls.
+#[derive(Clone, Debug)]
+pub struct OnlineSoftmax {
+    /// Running maximum of absorbed scores.
+    max: f32,
+    /// Running `Σ exp(z_i − max)`.
+    sum: f32,
+    /// Running `Σ exp(z_i − max) · v_i`.
+    acc: Vec<f32>,
+}
+
+impl OnlineSoftmax {
+    /// Creates an empty accumulator producing `dim`-dimensional outputs.
+    pub fn new(dim: usize) -> Self {
+        Self { max: f32::NEG_INFINITY, sum: 0.0, acc: vec![0.0; dim] }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Whether any score has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.sum == 0.0
+    }
+
+    /// Absorbs one `(score, value)` pair.
+    pub fn push(&mut self, score: f32, value: &[f32]) {
+        debug_assert_eq!(value.len(), self.acc.len());
+        if score > self.max {
+            // Rescale the existing accumulator to the new maximum.
+            let correction = if self.max == f32::NEG_INFINITY { 0.0 } else { (self.max - score).exp() };
+            self.sum *= correction;
+            for a in self.acc.iter_mut() {
+                *a *= correction;
+            }
+            self.max = score;
+        }
+        let w = (score - self.max).exp();
+        self.sum += w;
+        axpy(w, value, &mut self.acc);
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// Equivalent to having pushed all of `other`'s `(score, value)` pairs
+    /// into `self` directly. This is the data-centric aggregation step.
+    pub fn merge(&mut self, other: &OnlineSoftmax) {
+        debug_assert_eq!(self.dim(), other.dim());
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.max = other.max;
+            self.sum = other.sum;
+            self.acc.copy_from_slice(&other.acc);
+            return;
+        }
+        let m = self.max.max(other.max);
+        let cs = (self.max - m).exp();
+        let co = (other.max - m).exp();
+        self.sum = self.sum * cs + other.sum * co;
+        for (a, &b) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *a = *a * cs + b * co;
+        }
+        self.max = m;
+    }
+
+    /// The softmax-weighted output `Σ softmax(z)_i · v_i`.
+    ///
+    /// Returns the zero vector if nothing has been absorbed.
+    pub fn output(&self) -> Vec<f32> {
+        if self.sum == 0.0 {
+            return vec![0.0; self.acc.len()];
+        }
+        self.acc.iter().map(|&a| a / self.sum).collect()
+    }
+
+    /// Writes the output into `out` without allocating.
+    pub fn write_output(&self, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.acc.len());
+        if self.sum == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        for (o, &a) in out.iter_mut().zip(self.acc.iter()) {
+            *o = a / self.sum;
+        }
+    }
+
+    /// The running maximum score (`-inf` when empty). Exposed so the window
+    /// cache can seed DIPRS with the best-so-far inner product (§7.1).
+    pub fn max_score(&self) -> f32 {
+        self.max
+    }
+
+    /// The denominator `Σ exp(z_i − max)`.
+    pub fn sum(&self) -> f32 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(scores: &[f32], values: &[&[f32]]) -> Vec<f32> {
+        let mut z = scores.to_vec();
+        softmax_in_place(&mut z);
+        let dim = values[0].len();
+        let mut out = vec![0.0f32; dim];
+        for (w, v) in z.iter().zip(values) {
+            axpy(*w, v, &mut out);
+        }
+        out
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_scores_without_overflow() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_in_place(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax_in_place(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let x = [0.5f32, -1.0, 2.0];
+        let direct = x.iter().map(|v| v.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&x) - direct).abs() < 1e-5);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn online_matches_reference_single_pass() {
+        let scores = [0.3f32, -0.5, 1.2, 0.0];
+        let values: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![-1.0, 2.0],
+        ];
+        let refs: Vec<&[f32]> = values.iter().map(|v| v.as_slice()).collect();
+        let want = reference(&scores, &refs);
+
+        let mut os = OnlineSoftmax::new(2);
+        for (s, v) in scores.iter().zip(&values) {
+            os.push(*s, v);
+        }
+        assert_close(&os.output(), &want, 1e-5);
+    }
+
+    #[test]
+    fn merge_equals_monolithic() {
+        let scores = [0.3f32, -0.5, 1.2, 0.0, 2.5, -3.0];
+        let values: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32, (i as f32).sin(), 1.0]).collect();
+        let refs: Vec<&[f32]> = values.iter().map(|v| v.as_slice()).collect();
+        let want = reference(&scores, &refs);
+
+        // Split into two partitions, accumulate independently, merge.
+        let mut a = OnlineSoftmax::new(3);
+        let mut b = OnlineSoftmax::new(3);
+        for i in 0..3 {
+            a.push(scores[i], &values[i]);
+        }
+        for i in 3..6 {
+            b.push(scores[i], &values[i]);
+        }
+        a.merge(&b);
+        assert_close(&a.output(), &want, 1e-5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineSoftmax::new(2);
+        a.push(1.0, &[1.0, 2.0]);
+        let snapshot = a.output();
+        let empty = OnlineSoftmax::new(2);
+        a.merge(&empty);
+        assert_close(&a.output(), &snapshot, 1e-7);
+
+        let mut e = OnlineSoftmax::new(2);
+        e.merge(&a);
+        assert_close(&e.output(), &snapshot, 1e-7);
+    }
+
+    #[test]
+    fn empty_output_is_zero() {
+        let os = OnlineSoftmax::new(3);
+        assert_eq!(os.output(), vec![0.0; 3]);
+        assert!(os.is_empty());
+        assert_eq!(os.max_score(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn write_output_matches_output() {
+        let mut os = OnlineSoftmax::new(2);
+        os.push(0.7, &[3.0, -1.0]);
+        os.push(-0.2, &[0.5, 4.0]);
+        let mut buf = [0.0f32; 2];
+        os.write_output(&mut buf);
+        assert_close(&buf, &os.output(), 1e-7);
+    }
+}

@@ -1,0 +1,214 @@
+//! [`VecStore`]: a contiguous, row-major store of equal-dimension vectors.
+//!
+//! A `VecStore` is AlayaDB's in-memory representation of one attention head's
+//! key (or value) matrix: row `i` is the vector of token `i`. The storage is
+//! a single flat `Vec<f32>`, which gives sequential scans (flat index) their
+//! cache-friendly access pattern and makes it trivial to hand rows out as
+//! slices to the index builders and attention kernels.
+
+use crate::ops::dot;
+
+/// A growable, row-major matrix of `f32` vectors with fixed dimensionality.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VecStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VecStore {
+    /// Creates an empty store for vectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimensionality must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty store pre-allocating room for `capacity` vectors.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "vector dimensionality must be positive");
+        Self { dim, data: Vec::with_capacity(dim * capacity) }
+    }
+
+    /// Builds a store from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimensionality must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        Self { dim, data }
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one vector; returns its row id.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    #[inline]
+    pub fn push(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "pushed vector has wrong dimensionality");
+        let id = self.len();
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Appends every row of `other`. Dimensions must match.
+    pub fn extend_from(&mut self, other: &VecStore) {
+        assert_eq!(self.dim, other.dim, "dimensionality mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// Iterates over all rows in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the store, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Inner product of `q` against row `i`.
+    #[inline]
+    pub fn dot_row(&self, q: &[f32], i: usize) -> f32 {
+        dot(q, self.row(i))
+    }
+
+    /// Truncates the store to the first `n` vectors.
+    pub fn truncate(&mut self, n: usize) {
+        self.data.truncate(n * self.dim);
+    }
+
+    /// Returns a new store holding rows `[0, n)` (a context prefix).
+    pub fn prefix(&self, n: usize) -> VecStore {
+        assert!(n <= self.len(), "prefix longer than store");
+        VecStore { dim: self.dim, data: self.data[..n * self.dim].to_vec() }
+    }
+
+    /// Approximate heap footprint in bytes (used by the memory tracker).
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * core::mem::size_of::<f32>()
+    }
+}
+
+impl<'a> IntoIterator for &'a VecStore {
+    type Item = &'a [f32];
+    type IntoIter = core::slice::ChunksExact<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_row_round_trip() {
+        let mut s = VecStore::new(3);
+        assert!(s.is_empty());
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn push_wrong_dim_panics() {
+        let mut s = VecStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        VecStore::new(0);
+    }
+
+    #[test]
+    fn from_flat_and_iter() {
+        let s = VecStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f32]> = s.iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn dot_row_matches_manual() {
+        let s = VecStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.dot_row(&[2.0, 1.0], 0), 4.0);
+        assert_eq!(s.dot_row(&[2.0, 1.0], 1), 10.0);
+    }
+
+    #[test]
+    fn prefix_and_truncate() {
+        let mut s = VecStore::from_flat(1, vec![1.0, 2.0, 3.0, 4.0]);
+        let p = s.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.row(1), &[2.0]);
+        s.truncate(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(2), &[3.0]);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = VecStore::from_flat(2, vec![1.0, 2.0]);
+        let b = VecStore::from_flat(2, vec![3.0, 4.0]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_mut_mutates_in_place() {
+        let mut s = VecStore::from_flat(2, vec![1.0, 2.0]);
+        s.row_mut(0)[1] = 9.0;
+        assert_eq!(s.row(0), &[1.0, 9.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the numeric substrate.
+
+use alaya_vector::softmax::{log_sum_exp, softmax_in_place, OnlineSoftmax};
+use alaya_vector::{dot, top_k_indices, VecStore};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    /// Softmax output is a probability distribution whenever input is non-empty.
+    #[test]
+    fn softmax_is_distribution(mut x in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        softmax_in_place(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    /// Softmax is invariant to adding a constant to every score.
+    #[test]
+    fn softmax_shift_invariant(x in prop::collection::vec(-20.0f32..20.0, 1..32), c in -30.0f32..30.0) {
+        let mut a = x.clone();
+        softmax_in_place(&mut a);
+        let mut b: Vec<f32> = x.iter().map(|v| v + c).collect();
+        softmax_in_place(&mut b);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// log_sum_exp upper/lower bounds: max <= lse <= max + ln(n).
+    #[test]
+    fn lse_bounds(x in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = log_sum_exp(&x);
+        prop_assert!(lse >= m - 1e-4);
+        prop_assert!(lse <= m + (x.len() as f32).ln() + 1e-4);
+    }
+
+    /// Merging per-partition OnlineSoftmax accumulators reproduces the
+    /// monolithic result for any partition point (core data-centric invariant).
+    #[test]
+    fn online_softmax_merge_any_split(
+        scores in prop::collection::vec(-10.0f32..10.0, 2..24),
+        split in 1usize..23,
+        seed in 0u64..1000,
+    ) {
+        let n = scores.len();
+        let split = split.min(n - 1);
+        let dim = 4;
+        // Deterministic per-case values derived from the seed.
+        let values: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..dim).map(|d| ((seed as f32) * 0.01 + i as f32 * 0.3 + d as f32).sin()).collect())
+            .collect();
+
+        let mut mono = OnlineSoftmax::new(dim);
+        for (s, v) in scores.iter().zip(&values) {
+            mono.push(*s, v);
+        }
+
+        let mut left = OnlineSoftmax::new(dim);
+        let mut right = OnlineSoftmax::new(dim);
+        for i in 0..split {
+            left.push(scores[i], &values[i]);
+        }
+        for i in split..n {
+            right.push(scores[i], &values[i]);
+        }
+        left.merge(&right);
+
+        for (a, b) in left.output().iter().zip(mono.output()) {
+            prop_assert!((a - b).abs() < 1e-4, "merge mismatch");
+        }
+    }
+
+    /// top_k_indices returns exactly the k best scores, in descending order.
+    #[test]
+    fn topk_matches_full_sort(x in prop::collection::vec(-100.0f32..100.0, 0..128), k in 0usize..32) {
+        let got = top_k_indices(x.iter().cloned(), k);
+        let mut want: Vec<(usize, f32)> = x.iter().cloned().enumerate().collect();
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.score, w.1);
+        }
+        // Descending order.
+        for pair in got.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    /// dot is symmetric and linear in its first argument.
+    #[test]
+    fn dot_symmetry_and_linearity(a in finite_vec(16), b in finite_vec(16), alpha in -5.0f32..5.0) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-2);
+        let scaled: Vec<f32> = a.iter().map(|v| v * alpha).collect();
+        prop_assert!((dot(&scaled, &b) - alpha * dot(&a, &b)).abs() < 2e-1);
+    }
+
+    /// VecStore prefix rows equal the original rows.
+    #[test]
+    fn vecstore_prefix_preserves_rows(rows in prop::collection::vec(finite_vec(8), 1..32), n in 0usize..32) {
+        let mut s = VecStore::new(8);
+        for r in &rows {
+            s.push(r);
+        }
+        let n = n.min(s.len());
+        let p = s.prefix(n);
+        prop_assert_eq!(p.len(), n);
+        for i in 0..n {
+            prop_assert_eq!(p.row(i), s.row(i));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The recovery-ratio metric (§6.1, Observation I).
+//!
+//! The recovery ratio of a selected token set is the fraction of total
+//! attention-score mass it accounts for. It is the quality proxy
+//! RetrievalAttention introduced and the paper uses to measure how many
+//! tokens each head *needs* (Figure 5).
+
+use alaya_vector::VecStore;
+
+/// Softmax mass of `selected` relative to all tokens, for query `q` over
+/// `keys`, with logits scaled by `scale` (`1/√d` in attention).
+pub fn recovery_ratio(keys: &VecStore, q: &[f32], scale: f32, selected: &[u32]) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    // Stable: subtract the global max logit.
+    let logits: Vec<f32> = (0..keys.len()).map(|i| keys.dot_row(q, i) * scale).collect();
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let total: f64 = logits.iter().map(|&z| ((z - m) as f64).exp()).sum();
+    let mut seen = vec![false; keys.len()];
+    let mut sel_mass = 0.0f64;
+    for &id in selected {
+        let id = id as usize;
+        if id < keys.len() && !seen[id] {
+            seen[id] = true;
+            sel_mass += ((logits[id] - m) as f64).exp();
+        }
+    }
+    sel_mass / total
+}
+
+/// Minimal number of top-scoring tokens needed to reach `ratio` recovery —
+/// the y-axis of Figure 5's red curve.
+pub fn tokens_for_recovery(keys: &VecStore, q: &[f32], scale: f32, ratio: f64) -> usize {
+    assert!((0.0..=1.0).contains(&ratio));
+    if keys.is_empty() {
+        return 0;
+    }
+    let mut logits: Vec<f32> = (0..keys.len()).map(|i| keys.dot_row(q, i) * scale).collect();
+    logits.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    let m = logits[0];
+    let total: f64 = logits.iter().map(|&z| ((z - m) as f64).exp()).sum();
+    let mut acc = 0.0f64;
+    for (count, &z) in logits.iter().enumerate() {
+        acc += ((z - m) as f64).exp();
+        if acc >= ratio * total {
+            return count + 1;
+        }
+    }
+    logits.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{synth_head, HeadProfile};
+
+    #[test]
+    fn selecting_everything_recovers_one() {
+        let p = HeadProfile::with_critical(10);
+        let (keys, q, _) = synth_head(&p, 200, 8, 1);
+        let all: Vec<u32> = (0..200).collect();
+        let r = recovery_ratio(&keys, &q, 0.35, &all);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_band_dominates_mass() {
+        let p = HeadProfile::with_critical(10);
+        let dim = 16;
+        let scale = 1.0 / (dim as f32).sqrt();
+        let (keys, q, ids) = synth_head(&p, 500, dim, 2);
+        let r = recovery_ratio(&keys, &q, scale, &ids);
+        assert!(r > 0.8, "planted band holds only {r} of the mass");
+        // A random selection of the same size recovers far less.
+        let random: Vec<u32> = (0..ids.len() as u32).map(|i| i * 37 % 500).collect();
+        let rr = recovery_ratio(&keys, &q, scale, &random);
+        assert!(rr < r / 2.0, "random {rr} vs planted {r}");
+    }
+
+    #[test]
+    fn duplicates_not_double_counted() {
+        let p = HeadProfile::with_critical(5);
+        let (keys, q, ids) = synth_head(&p, 100, 8, 3);
+        let mut doubled = ids.clone();
+        doubled.extend_from_slice(&ids);
+        assert!(
+            (recovery_ratio(&keys, &q, 0.35, &ids) - recovery_ratio(&keys, &q, 0.35, &doubled))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn monotone_in_ratio() {
+        let p = HeadProfile::with_critical(20);
+        let dim = 8;
+        let scale = 1.0 / (dim as f32).sqrt();
+        let (keys, q, _) = synth_head(&p, 500, dim, 5);
+        let t50 = tokens_for_recovery(&keys, &q, scale, 0.5);
+        let t90 = tokens_for_recovery(&keys, &q, scale, 0.9);
+        let t99 = tokens_for_recovery(&keys, &q, scale, 0.99);
+        assert!(t50 <= t90 && t90 <= t99);
+        assert!(t99 <= 500);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let keys = VecStore::new(4);
+        assert_eq!(recovery_ratio(&keys, &[0.0; 4], 1.0, &[]), 0.0);
+        assert_eq!(tokens_for_recovery(&keys, &[0.0; 4], 1.0, 0.9), 0);
+    }
+}

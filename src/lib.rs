@@ -1,0 +1,22 @@
+//! AlayaDB umbrella crate: re-exports every AlayaDB component under one
+//! name so applications depend on a single crate.
+//!
+//! * [`core`] — the `DB` / `Session` public API,
+//! * [`llm`] — the transformer substrate and `AttentionBackend` seam,
+//! * [`attention`] — sparse attention engines,
+//! * [`query`] — query types, DIPRS, and the optimizer,
+//! * [`index`] — flat / graph / coarse vector indexes,
+//! * [`storage`] — the vector file system and buffer manager,
+//! * [`device`] — device model, memory tracking, SLOs,
+//! * [`workloads`] — synthetic evaluation workloads,
+//! * [`vector`] — numeric primitives.
+
+pub use alaya_attention as attention;
+pub use alaya_core as core;
+pub use alaya_device as device;
+pub use alaya_index as index;
+pub use alaya_llm as llm;
+pub use alaya_query as query;
+pub use alaya_storage as storage;
+pub use alaya_vector as vector;
+pub use alaya_workloads as workloads;
