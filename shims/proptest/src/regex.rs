@@ -1,0 +1,252 @@
+//! String-from-regex generation: `"pat" in proptest!` arguments.
+//!
+//! Supports the subset of regex syntax that is useful as a *generator*:
+//! literal chars, `.`, escaped chars (`\n`, `\t`, `\\`, `\d`, `\w`, `\s`),
+//! character classes (`[a-z0-9_]`, no negation), and the quantifiers `?`,
+//! `*`, `+`, `{n}`, `{m,n}` (unbounded `*`/`+`/`{m,}` cap at 32 repeats).
+//! Unsupported syntax (alternation, groups, anchors) panics with a clear
+//! message rather than generating the wrong distribution.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// A fixed char.
+    Literal(char),
+    /// One-of: explicit chars plus inclusive ranges.
+    Class { chars: Vec<char>, ranges: Vec<(char, char)> },
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Caps open-ended quantifiers.
+const UNBOUNDED_CAP: u32 = 32;
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '\\' => escaped_atom(chars.next().unwrap_or_else(|| {
+                panic!("proptest shim: dangling `\\` in regex {pattern:?}")
+            })),
+            '[' => {
+                let mut class_chars = Vec::new();
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("proptest shim: unterminated `[` in regex {pattern:?}"),
+                        Some(']') => break,
+                        Some('^') if prev.is_none() && class_chars.is_empty() => {
+                            panic!(
+                                "proptest shim: negated classes unsupported in regex {pattern:?}"
+                            )
+                        }
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            class_chars.pop();
+                            let hi = chars.next().unwrap();
+                            ranges.push((lo, hi));
+                        }
+                        Some('\\') => {
+                            let e = chars.next().unwrap_or_else(|| {
+                                panic!("proptest shim: dangling `\\` in regex {pattern:?}")
+                            });
+                            let lit = match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            };
+                            class_chars.push(lit);
+                            prev = Some(lit);
+                        }
+                        Some(other) => {
+                            class_chars.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                Atom::Class { chars: class_chars, ranges }
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!(
+                    "proptest shim: regex feature `{c}` unsupported in {pattern:?}; \
+                     extend shims/proptest/src/regex.rs"
+                )
+            }
+            lit => Atom::Literal(lit),
+        };
+
+        let (min, max) = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec.trim().parse().unwrap_or_else(|_| {
+                            panic!("proptest shim: bad quantifier {{{spec}}} in {pattern:?}")
+                        });
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let m: u32 = lo.trim().parse().unwrap_or(0);
+                        let n: u32 = if hi.trim().is_empty() {
+                            m + UNBOUNDED_CAP
+                        } else {
+                            hi.trim().parse().unwrap_or_else(|_| {
+                                panic!("proptest shim: bad quantifier {{{spec}}} in {pattern:?}")
+                            })
+                        };
+                        (m, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn escaped_atom(c: char) -> Atom {
+    match c {
+        'n' => Atom::Literal('\n'),
+        't' => Atom::Literal('\t'),
+        'r' => Atom::Literal('\r'),
+        'd' => Atom::Class { chars: vec![], ranges: vec![('0', '9')] },
+        'w' => Atom::Class {
+            chars: vec!['_'],
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9')],
+        },
+        's' => Atom::Class { chars: vec![' ', '\t', '\n'], ranges: vec![] },
+        other => Atom::Literal(other),
+    }
+}
+
+fn gen_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, sometimes an arbitrary Unicode scalar — the
+    // same spirit as proptest's any-char distribution, minus `\n` ('.'
+    // semantics).
+    loop {
+        let c = if rng.gen_range(0u32..10) < 8 {
+            char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+        } else {
+            match char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                Some(c) => c,
+                None => continue, // surrogate gap
+            }
+        };
+        if c != '\n' {
+            return c;
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::AnyChar => gen_char(rng),
+        Atom::Literal(c) => *c,
+        Atom::Class { chars, ranges } => {
+            let range_total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total = chars.len() as u32 + range_total;
+            assert!(total > 0, "proptest shim: empty character class");
+            let mut pick = rng.gen_range(0..total);
+            if (pick as usize) < chars.len() {
+                return chars[pick as usize];
+            }
+            pick -= chars.len() as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    // Classes over ASCII/letter ranges never straddle the
+                    // surrogate gap in practice.
+                    return char::from_u32(*lo as u32 + pick).unwrap();
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..n {
+            out.push(gen_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_repeat_respects_bounds() {
+        let mut rng = TestRng::deterministic("regex::dot", 0);
+        for _ in 0..100 {
+            let s = generate(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::deterministic("regex::class", 0);
+        for _ in 0..100 {
+            let s = generate(r"[a-c]{2}x\d+z?", &mut rng);
+            let mut it = s.chars();
+            assert!(('a'..='c').contains(&it.next().unwrap()));
+            assert!(('a'..='c').contains(&it.next().unwrap()));
+            assert_eq!(it.next(), Some('x'));
+            let rest: String = it.collect();
+            let rest = rest.strip_suffix('z').unwrap_or(&rest);
+            assert!(!rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let mut rng = TestRng::deterministic("regex::lit", 0);
+        assert_eq!(generate(r"ab\nc", &mut rng), "ab\nc");
+    }
+}

@@ -1,0 +1,78 @@
+//! Test-runner configuration and the deterministic input RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the whole-workspace
+        // tier-1 run fast while still exercising each property broadly.
+        // Tests that are expensive per-case override with `with_cases`.
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. ChaCha8 seeded from (test path, case
+/// index), so every run of the suite generates the identical input stream.
+#[derive(Clone, Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Seeds a generator for one test case.
+    pub fn deterministic(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 32 | 0x0A1A_7ADB)))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+    use rand::RngCore;
+
+    #[test]
+    fn same_path_same_stream() {
+        let mut a = TestRng::deterministic("m::t", 3);
+        let mut b = TestRng::deterministic("m::t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_case_different_stream() {
+        let mut a = TestRng::deterministic("m::t", 0);
+        let mut b = TestRng::deterministic("m::t", 1);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

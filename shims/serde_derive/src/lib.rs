@@ -1,0 +1,227 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (the container has no `syn`/`quote`, so parsing is hand-rolled).
+//!
+//! Supported input shapes — which cover every derive in this workspace:
+//!
+//! * non-generic structs with named fields → a JSON object with one entry
+//!   per field, in declaration order;
+//! * non-generic enums whose variants are all unit variants → the variant
+//!   name as a JSON string.
+//!
+//! Anything else produces a `compile_error!` naming the limitation, so a
+//! future PR that needs more surface fails loudly rather than subtly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input.
+enum Input {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips one attribute (`#` followed by a bracket group) starting at `i`;
+/// returns the index after it, or `i` if there is no attribute.
+fn skip_attr(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attr(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`; \
+                 hand-write the impl or extend shims/serde_derive"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde shim derive does not support tuple struct `{name}`"
+            ));
+        }
+        other => return Err(format!("expected `{{ ... }}` body for `{name}`, found {other:?}")),
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_vis(&body, skip_attr(&body, j));
+            let field = match body.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+            };
+            fields.push(field);
+            // Skip to the next comma outside any angle-bracket nesting (the
+            // field's type may itself contain commas, e.g. `BTreeMap<K, V>`).
+            let mut angle: i32 = 0;
+            while j < body.len() {
+                match &body[j] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        Ok(Input::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_attr(&body, j);
+            let variant = match body.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => return Err(format!("expected variant in `{name}`, found {other:?}")),
+            };
+            j += 1;
+            match body.get(j) {
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "serde shim derive supports only unit variants; \
+                         `{name}::{variant}` carries data"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    // Explicit discriminant: skip the expression.
+                    while j < body.len() {
+                        if let TokenTree::Punct(p) = &body[j] {
+                            if p.as_char() == ',' {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+            variants.push(variant);
+            while j < body.len() {
+                if let TokenTree::Punct(p) = &body[j] {
+                    if p.as_char() == ',' {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        Ok(Input::Enum { name, variants })
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (shim surface: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match parsed {
+        Input::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derives the shim's marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match parsed {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

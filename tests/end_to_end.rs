@@ -175,6 +175,98 @@ fn full_lifecycle_with_index_spill() {
     assert_eq!(trunc2.len(), 1);
 }
 
+/// The Table 2 contract driven by hand through the `alayadb` re-exports:
+/// `Db::create_session → Session::update → Session::attention → Db::store`,
+/// then reuse of the stored context by a follow-up session.
+#[test]
+fn session_update_attention_store_round_trip() {
+    let model_cfg = ModelConfig::tiny();
+    let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+    let steps = 10usize;
+    let tokens: Vec<u32> = (0..steps as u32).map(|i| i * 13 % 250).collect();
+
+    // Fresh DB: nothing to reuse, the full prompt comes back untruncated.
+    let (mut session, truncated) = db.create_session(&tokens);
+    assert_eq!(truncated, tokens);
+    assert_eq!(session.reused_len(), 0);
+
+    // Drive update + attention per layer, mirroring every step into the
+    // coupled-architecture reference backend.
+    let mut reference = FullKvBackend::new(&model_cfg);
+    let mut rng = seeded(2026);
+    let dim = model_cfg.head_dim;
+    for step in 0..steps {
+        for layer in 0..model_cfg.n_layers {
+            let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+
+            session.update(&queries, &keys, &values, layer);
+            let out = session.attention(&queries, layer);
+            assert_eq!(out.len(), model_cfg.n_q_heads);
+
+            if step == 0 {
+                // One cached token: softmax weight is exactly 1, so each
+                // head's output must be its KV head's value vector.
+                for (qh, o) in out.iter().enumerate() {
+                    let v = &values[model_cfg.kv_head_of(qh)];
+                    for (a, b) in o.iter().zip(v) {
+                        assert!((a - b).abs() < 1e-5, "step-0 output must be the value row");
+                    }
+                }
+            }
+
+            let want = reference.attend(
+                layer,
+                alayadb::llm::StepInput { queries: queries.clone(), keys, values },
+            );
+            for (o, w) in out.iter().zip(&want) {
+                for (a, b) in o.iter().zip(w) {
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "session attention diverged from the coupled reference"
+                    );
+                }
+            }
+        }
+        assert_eq!(session.seq_len(0), step + 1);
+    }
+    assert!(!session.plan_log().is_empty(), "attention must have logged a plan");
+
+    // Late materialization: store the session and check the stored KV is
+    // byte-for-byte the session's full KV on every head.
+    session.note_tokens(&tokens);
+    let id = db.store(&session);
+    assert_eq!(db.n_contexts(), 1);
+    let stored = db.context(id).unwrap();
+    assert_eq!(stored.len(), steps);
+    for layer in 0..model_cfg.n_layers {
+        for kvh in 0..model_cfg.n_kv_heads {
+            let (keys, values) = session.full_kv(layer, kvh);
+            let head = stored.kv.head(layer, kvh);
+            assert_eq!(head.keys.len(), steps);
+            for i in 0..steps {
+                assert_eq!(head.keys.row(i), keys.row(i));
+                assert_eq!(head.values.row(i), values.row(i));
+            }
+        }
+    }
+
+    // A follow-up prompt extending the stored conversation reuses the whole
+    // stored context and only the new suffix remains to prefill.
+    let mut extended = tokens.clone();
+    extended.extend([251u32, 252, 253]);
+    let (s2, trunc2) = db.create_session(&extended);
+    assert_eq!(s2.reused_len(), steps);
+    assert_eq!(trunc2, &extended[steps..]);
+}
+
 /// Memory accounting sanity across the whole stack: Table 1's ordering.
 #[test]
 fn gpu_memory_ordering_across_architectures() {
