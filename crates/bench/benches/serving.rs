@@ -1,0 +1,81 @@
+//! Serving-layer microbenchmarks: per-step latency of `Session::attention`
+//! with per-query-head execution on the shared work-stealing pool versus
+//! the sequential reference path, over a reused stored context.
+//!
+//! On a single-core host the two paths coincide (the pool falls back to
+//! the caller's thread); the interesting numbers come from ≥4 cores,
+//! where the parallel path approaches `sequential / min(cores, heads)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alaya_core::{Db, DbConfig};
+use alaya_llm::{KvCache, ModelConfig};
+use alaya_vector::rng::{gaussian_vec, seeded};
+
+fn serving_model() -> ModelConfig {
+    ModelConfig {
+        n_layers: 2,
+        n_q_heads: 8,
+        n_kv_heads: 4,
+        head_dim: 32,
+        ffn_dim: 64,
+        vocab_size: 264,
+        rope_theta: 10_000.0,
+        norm_eps: 1e-5,
+        seed: 7,
+    }
+}
+
+/// A DB whose stored context takes the dense plan (heavy per-head work,
+/// no index-build cost in the bench setup).
+fn db_with_dense_context(model: &ModelConfig, n_tokens: usize) -> Db {
+    let mut cfg = DbConfig::for_tests(model.clone());
+    cfg.optimizer.short_context_threshold = usize::MAX; // always FullAttention
+    cfg.optimizer.flat_layers = model.n_layers; // skip graph builds at import
+    let db = Db::new(cfg);
+
+    let mut rng = seeded(11);
+    let mut kv = KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim);
+    for _ in 0..n_tokens {
+        for layer in 0..model.n_layers {
+            let ks: Vec<Vec<f32>> = (0..model.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                .collect();
+            let vs: Vec<Vec<f32>> = (0..model.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                .collect();
+            kv.push_token(layer, &ks, &vs);
+        }
+    }
+    db.import((0..n_tokens as u32).collect(), kv);
+    db
+}
+
+fn bench_session_attention(c: &mut Criterion) {
+    let model = serving_model();
+    let n = 4096;
+    let db = db_with_dense_context(&model, n);
+    let mut prompt: Vec<u32> = (0..n as u32).collect();
+    prompt.push(700 % 264);
+    let (mut session, _) = db.create_session(&prompt);
+
+    let mut rng = seeded(21);
+    let queries: Vec<Vec<f32>> =
+        (0..model.n_q_heads).map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0)).collect();
+
+    let mut group = c.benchmark_group("session_attention_4k");
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| session.attention_sequential(std::hint::black_box(&queries), 1))
+    });
+    group.bench_function(BenchmarkId::from_parameter("pool_parallel"), |b| {
+        b.iter(|| session.attention(std::hint::black_box(&queries), 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_session_attention
+}
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Serving-throughput sweep: decode steps/second through the
+//! `alaya-serve` scheduler as the session count and pool size grow,
+//! against the serialized single-caller baseline.
+//!
+//! For every `(sessions, threads)` cell, S driver threads each run one
+//! admitted session for N decode steps (update + attention per layer)
+//! over one shared stored context; the baseline drives the same S
+//! sessions from a single thread through `Session::attention_sequential`.
+//! `speedup` is baseline-time / engine-time for the same total work.
+//!
+//! The concurrency *structure* (batching, plan sharing, per-head
+//! fan-out) is exercised on any host; measured speedup > 1 requires ≥2
+//! real cores (the host's count is printed with the results). Run with
+//! `--full` for paper-shaped sizes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use alaya_bench::{fmt_secs, print_header, print_row, write_json, Scale};
+use alaya_core::{Db, DbConfig};
+use alaya_llm::{KvCache, ModelConfig};
+use alaya_serve::{ServeEngine, ServeOptions};
+use alaya_vector::rng::{gaussian_vec, seeded};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    sessions: usize,
+    threads: usize,
+    steps_per_session: usize,
+    engine_seconds: f64,
+    baseline_seconds: f64,
+    speedup: f64,
+    scheduler_batches: u64,
+    scheduler_requests: u64,
+    shared_plan_requests: u64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    host_cores: usize,
+    context_len: usize,
+    cells: Vec<Cell>,
+}
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        n_layers: 2,
+        n_q_heads: 8,
+        n_kv_heads: 4,
+        head_dim: 32,
+        ffn_dim: 64,
+        vocab_size: 264,
+        rope_theta: 10_000.0,
+        norm_eps: 1e-5,
+        seed: 7,
+    }
+}
+
+fn build_db(model: &ModelConfig, n_tokens: usize) -> Arc<Db> {
+    let mut cfg = DbConfig::for_tests(model.clone());
+    cfg.optimizer.short_context_threshold = usize::MAX; // dense per-head work
+    cfg.optimizer.flat_layers = model.n_layers; // skip graph builds at import
+    let db = Db::new(cfg);
+    let mut rng = seeded(3);
+    let mut kv = KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim);
+    for _ in 0..n_tokens {
+        for layer in 0..model.n_layers {
+            let ks: Vec<Vec<f32>> = (0..model.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                .collect();
+            let vs: Vec<Vec<f32>> = (0..model.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                .collect();
+            kv.push_token(layer, &ks, &vs);
+        }
+    }
+    db.import((0..n_tokens as u32).collect(), kv);
+    Arc::new(db)
+}
+
+/// One session's step inputs, pre-generated so measurement excludes RNG.
+type StepInputs = Vec<Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<Vec<f32>>)>>;
+
+fn gen_inputs(model: &ModelConfig, steps: usize, seed: u64) -> StepInputs {
+    let mut rng = seeded(seed);
+    (0..steps)
+        .map(|_| {
+            (0..model.n_layers)
+                .map(|_| {
+                    let q = (0..model.n_q_heads)
+                        .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                        .collect();
+                    let k = (0..model.n_kv_heads)
+                        .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                        .collect();
+                    let v = (0..model.n_kv_heads)
+                        .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+                        .collect();
+                    (q, k, v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = model();
+    let context_len = scale.pick(1024, 16_384);
+    let steps = scale.pick(16, 64);
+    let host_cores =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let db = build_db(&model, context_len);
+
+    let mut prompt: Vec<u32> = (0..context_len as u32).collect();
+    prompt.extend([700 % 264, 701 % 264]);
+
+    let session_counts = [1usize, 2, 4, 8];
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= 2 * host_cores)
+        .collect();
+
+    println!(
+        "serve_throughput: context={context_len} tokens, {steps} steps/session, host cores={host_cores}"
+    );
+    let widths = [8, 7, 10, 10, 8, 8, 7];
+    print_header(
+        &["sessions", "threads", "engine", "baseline", "speedup", "batches", "shared"],
+        &widths,
+    );
+
+    let mut cells = Vec::new();
+    for &sessions in &session_counts {
+        // Serialized baseline: one thread, plain sessions, sequential heads.
+        let inputs: Vec<StepInputs> =
+            (0..sessions).map(|s| gen_inputs(&model, steps, 100 + s as u64)).collect();
+        let mut base_sessions: Vec<_> =
+            (0..sessions).map(|_| db.create_session(&prompt).0).collect();
+        let t0 = Instant::now();
+        for (sess, inp) in base_sessions.iter_mut().zip(&inputs) {
+            for step in inp {
+                for (layer, (q, k, v)) in step.iter().enumerate() {
+                    sess.update(q, k, v, layer);
+                    std::hint::black_box(sess.attention_sequential(q, layer));
+                }
+            }
+        }
+        let baseline_seconds = t0.elapsed().as_secs_f64();
+        drop(base_sessions);
+
+        for &threads in &thread_counts {
+            let engine = ServeEngine::with_options(
+                Arc::clone(&db),
+                ServeOptions { threads, ..Default::default() },
+            );
+            let ids: Vec<_> = (0..sessions)
+                .map(|_| engine.admit(&prompt).expect("admission").0)
+                .collect();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (sid, inp) in ids.iter().zip(&inputs) {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        for step in inp {
+                            for (layer, (q, k, v)) in step.iter().enumerate() {
+                                engine.update(*sid, q, k, v, layer).unwrap();
+                                std::hint::black_box(
+                                    engine.attention(*sid, q, layer).unwrap(),
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+            let engine_seconds = t0.elapsed().as_secs_f64();
+            let stats = engine.stats();
+            let cell = Cell {
+                sessions,
+                threads,
+                steps_per_session: steps,
+                engine_seconds,
+                baseline_seconds,
+                speedup: baseline_seconds / engine_seconds,
+                scheduler_batches: stats.batches,
+                scheduler_requests: stats.requests,
+                shared_plan_requests: stats.shared_plan_requests,
+            };
+            print_row(
+                &[
+                    cell.sessions.to_string(),
+                    cell.threads.to_string(),
+                    fmt_secs(cell.engine_seconds),
+                    fmt_secs(cell.baseline_seconds),
+                    format!("{:.2}x", cell.speedup),
+                    cell.scheduler_batches.to_string(),
+                    cell.shared_plan_requests.to_string(),
+                ],
+                &widths,
+            );
+            cells.push(cell);
+        }
+    }
+
+    write_json("serving_throughput", &Record { host_cores, context_len, cells });
+}

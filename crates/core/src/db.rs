@@ -1,5 +1,6 @@
 //! The `DB` abstraction: the manager of all stored contexts (Table 2).
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -11,11 +12,36 @@ use crate::config::DbConfig;
 use crate::session::Session;
 use crate::stored::{ContextId, QueryReservoir, StoredContext};
 
+/// Stored contexts in insertion order plus an id-keyed map, so
+/// [`Db::context`] is O(1) under serving load while prefix matching keeps
+/// a deterministic (insertion-order) tie-break.
+#[derive(Default)]
+struct ContextTable {
+    order: Vec<Arc<StoredContext>>,
+    by_id: HashMap<ContextId, usize>,
+    /// Ids handed to an in-flight `import`/`store` still building its
+    /// context outside the lock; `adopt` must treat them as taken even
+    /// though they are not in `by_id` yet.
+    reserved: HashSet<ContextId>,
+}
+
+impl ContextTable {
+    fn insert(&mut self, ctx: Arc<StoredContext>) {
+        let prev = self.by_id.insert(ctx.id, self.order.len());
+        debug_assert!(prev.is_none(), "duplicate ContextId {:?} in ContextTable", ctx.id);
+        self.order.push(ctx);
+    }
+
+    fn get(&self, id: ContextId) -> Option<&Arc<StoredContext>> {
+        self.by_id.get(&id).map(|&i| &self.order[i])
+    }
+}
+
 /// An AlayaDB instance: stored contexts (prompts, KV caches, vector
 /// indexes) plus the machinery to open sessions against them.
 pub struct Db {
     cfg: DbConfig,
-    contexts: RwLock<Vec<Arc<StoredContext>>>,
+    contexts: RwLock<ContextTable>,
     next_id: AtomicU64,
 }
 
@@ -23,7 +49,7 @@ impl Db {
     /// Opens an empty database.
     pub fn new(cfg: DbConfig) -> Self {
         cfg.model.validate();
-        Self { cfg, contexts: RwLock::new(Vec::new()), next_id: AtomicU64::new(0) }
+        Self { cfg, contexts: RwLock::new(ContextTable::default()), next_id: AtomicU64::new(0) }
     }
 
     /// The database configuration.
@@ -38,12 +64,14 @@ impl Db {
 
     /// Number of stored contexts.
     pub fn n_contexts(&self) -> usize {
-        self.contexts.read().len()
+        self.contexts.read().order.len()
     }
 
-    /// Fetches a stored context by id.
+    /// Fetches a stored context by id — an O(1) map lookup. The returned
+    /// `Arc` is a lock-free handle: attention over the context never holds
+    /// the DB-wide lock.
     pub fn context(&self, id: ContextId) -> Option<Arc<StoredContext>> {
-        self.contexts.read().iter().find(|c| c.id == id).cloned()
+        self.contexts.read().get(id).cloned()
     }
 
     /// `DB.create_session(prompts)`: opens a session, reusing the longest
@@ -54,6 +82,7 @@ impl Db {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
         let contexts = self.contexts.read();
         let best = contexts
+            .order
             .iter()
             .map(|c| (c.common_prefix_len(prompt), c))
             .max_by_key(|(lcp, _)| *lcp)
@@ -93,26 +122,49 @@ impl Db {
             kv.seq_len(0),
             "token sequence and KV cache must have equal length"
         );
-        let id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // Allocate under the contexts lock and leave the id reserved, so a
+        // concurrent `adopt` cannot claim it while the context is still
+        // building. Index construction itself runs outside the lock, so
+        // imports do not block concurrent session creation or lookup.
+        let id = {
+            let mut contexts = self.contexts.write();
+            let id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            contexts.reserved.insert(id);
+            id
+        };
+        // Un-reserve on every exit path — if the build below panics, the id
+        // must not stay reserved forever (redundant removal is a no-op).
+        struct Unreserve<'a>(&'a Db, ContextId);
+        impl Drop for Unreserve<'_> {
+            fn drop(&mut self) {
+                self.0.contexts.write().reserved.remove(&self.1);
+            }
+        }
+        let _unreserve = Unreserve(self, id);
         let ctx = StoredContext::build(id, tokens, kv, queries, &self.cfg);
-        self.contexts.write().push(Arc::new(ctx));
+        self.contexts.write().insert(Arc::new(ctx));
         id
     }
 
     /// Adopts an externally assembled context (e.g. one loaded from the
     /// vector file system by [`crate::persist::load_context`]) into this
     /// DB's reuse pool. The context keeps its original id if it does not
-    /// collide; otherwise it is re-numbered.
+    /// collide with a stored *or in-flight* context; otherwise it is
+    /// re-numbered.
     pub fn adopt(&self, mut ctx: StoredContext) -> ContextId {
+        // Every allocation path touches `next_id` under this write lock
+        // (`import`/`store` also register in-flight ids in `reserved`), so
+        // holding it across the check and the insert makes the collision
+        // test exact — no id can be claimed or inserted concurrently.
         let mut contexts = self.contexts.write();
-        if contexts.iter().any(|c| c.id == ctx.id) {
+        if contexts.by_id.contains_key(&ctx.id) || contexts.reserved.contains(&ctx.id) {
             ctx.id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
         } else {
             // Keep the allocator ahead of adopted ids.
             self.next_id.fetch_max(ctx.id.0 + 1, Ordering::Relaxed);
         }
         let id = ctx.id;
-        contexts.push(Arc::new(ctx));
+        contexts.insert(Arc::new(ctx));
         id
     }
 

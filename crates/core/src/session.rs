@@ -146,11 +146,11 @@ impl Session {
         (keys, values)
     }
 
-    /// Computes attention outputs for every query head at `layer` — the
-    /// `Session.attention` API of Table 2. K/V for the current step must
-    /// already be in the local window (call [`Session::update`] first).
-    pub fn attention(&mut self, queries: &[Vec<f32>], layer: usize) -> Vec<Vec<f32>> {
-        let spec = QuerySpec {
+    /// The optimizer's workload description for an attention call at
+    /// `layer` — the *plan* half of the plan/execute split the serving
+    /// scheduler batches across sessions.
+    pub fn query_spec(&self, layer: usize) -> QuerySpec {
+        QuerySpec {
             context_len: self.base.as_ref().map(|b| b.len()).unwrap_or(0),
             reused_prefix: match &self.base {
                 Some(b) if self.reused_len < b.len() => Some(self.reused_len),
@@ -162,18 +162,85 @@ impl Session {
                 .as_ref()
                 .map(|b| b.coarse_bytes_needed())
                 .unwrap_or(0),
-        };
-        let plan = self.optimizer.plan(&spec, &self.cfg.gpu);
+        }
+    }
+
+    /// Plans one attention call at `layer` without executing or logging it.
+    /// Sessions sharing a stored context produce equal specs (for equal
+    /// reused prefixes), so a scheduler can plan once per group and execute
+    /// many sessions under the same plan.
+    pub fn plan(&self, layer: usize) -> Plan {
+        self.optimizer.plan(&self.query_spec(layer), &self.cfg.gpu)
+    }
+
+    /// Records `plan` in the plan log (deduplicating consecutive repeats) —
+    /// the logging half of what [`Session::attention`] does implicitly.
+    pub fn note_plan(&mut self, plan: &Plan) {
         if self.plan_log.last().map(|p| p != &plan.explain()).unwrap_or(true) {
             self.plan_log.push(plan.explain());
         }
+    }
 
-        let group = self.cfg.model.gqa_group_size();
+    /// Computes attention outputs for every query head at `layer` — the
+    /// `Session.attention` API of Table 2. K/V for the current step must
+    /// already be in the local window (call [`Session::update`] first).
+    ///
+    /// Per-query-head execution fans out over the shared work-stealing pool
+    /// ([`alaya_device::pool::global`]); outputs are bitwise-identical to
+    /// [`Session::attention_sequential`] because every head's computation
+    /// is independent and order-free.
+    pub fn attention(&mut self, queries: &[Vec<f32>], layer: usize) -> Vec<Vec<f32>> {
+        let plan = self.plan(layer);
+        self.note_plan(&plan);
+        self.attention_with_plan(queries, layer, &plan)
+    }
+
+    /// The sequential reference path: identical plan, per-head loop on the
+    /// calling thread. Kept callable so tests and benches can assert the
+    /// parallel and scheduled paths are bitwise-equal to it.
+    pub fn attention_sequential(&mut self, queries: &[Vec<f32>], layer: usize) -> Vec<Vec<f32>> {
+        let plan = self.plan(layer);
+        self.note_plan(&plan);
         queries
             .iter()
             .enumerate()
-            .map(|(qh, q)| self.attend_head(q, qh / group, layer, &plan))
+            .map(|(qh, q)| self.attend_query_head(q, qh, layer, &plan))
             .collect()
+    }
+
+    /// Executes a pre-computed `plan` for every query head — the *execute*
+    /// half of the plan/execute split. Immutable, so a scheduler holding
+    /// many sessions can execute them concurrently; heads fan out over the
+    /// shared pool when there is more than one.
+    pub fn attention_with_plan(
+        &self,
+        queries: &[Vec<f32>],
+        layer: usize,
+        plan: &Plan,
+    ) -> Vec<Vec<f32>> {
+        let attended = self.reused_len + self.local.seq_len(layer);
+        if queries.len() <= 1 || attended < PARALLEL_MIN_TOKENS {
+            return queries
+                .iter()
+                .enumerate()
+                .map(|(qh, q)| self.attend_query_head(q, qh, layer, plan))
+                .collect();
+        }
+        alaya_device::pool::global()
+            .map(queries.len(), |qh| self.attend_query_head(&queries[qh], qh, layer, plan))
+    }
+
+    /// One query head's attention under a pre-computed `plan` (`qh` is the
+    /// query-head index; the KV head is derived via the GQA group size).
+    /// This is the granularity the serving scheduler fans out over.
+    pub fn attend_query_head(
+        &self,
+        q: &[f32],
+        qh: usize,
+        layer: usize,
+        plan: &Plan,
+    ) -> Vec<f32> {
+        self.attend_head(q, qh / self.cfg.model.gqa_group_size(), layer, plan)
     }
 
     /// One head's attention under `plan`.
@@ -303,6 +370,13 @@ fn flat_dipr_filtered(
 ) -> Vec<ScoredIdx> {
     alaya_index::flat::FlatIndex.search_dipr_filtered(keys, q, beta, pred)
 }
+
+/// Below this many attended tokens, a per-head task is microseconds of
+/// work and pool dispatch costs more than it saves — serial execution is
+/// the fast path for short-context decode. Shared with the serving
+/// scheduler's batch executor; outputs are identical either way (the pool
+/// preserves per-index results).
+pub const PARALLEL_MIN_TOKENS: usize = 512;
 
 impl AttentionBackend for Session {
     fn attend(&mut self, layer: usize, input: StepInput) -> Vec<Vec<f32>> {

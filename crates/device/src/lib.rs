@@ -10,6 +10,10 @@
 //! on the CPU (index search, DIPRS, buffer manager) is measured for real; the
 //! split is documented per-experiment in `EXPERIMENTS.md`.
 //!
+//! The [`pool`] module is the CPU execution substrate: a hand-rolled
+//! work-stealing thread pool with scoped execution that index construction,
+//! per-head attention and the `alaya-serve` scheduler all share.
+//!
 //! The [`slo`] module implements the paper's Service Level Objectives:
 //! Time-To-First-Token for the prefill phase and Time-Per-Output-Token for
 //! the decode phase (§2), with the 0.24 s/token human-reading-speed default
@@ -17,10 +21,12 @@
 
 pub mod cost;
 pub mod memory;
+pub mod pool;
 pub mod slo;
 pub mod spec;
 
 pub use cost::{CostModel, ModelShape};
 pub use memory::{MemoryGuard, MemoryTracker, OutOfMemory};
+pub use pool::WorkStealingPool;
 pub use slo::{Slo, SloReport};
 pub use spec::{DeviceKind, DeviceSpec, LinkSpec};

@@ -4,9 +4,11 @@
 //! build cost the paper attacks in §7.2. The paper offloads it to the GPU
 //! via NVIDIA cuVS and overlaps transfers with compute. Without a GPU, the
 //! same *structural* optimization is reproduced with data-parallel execution
-//! across CPU cores ([`exact_knn_parallel`] uses `std::thread::scope`): the
-//! speedup curve of Figure 11a comes from the serial/parallel ratio, and the
-//! per-layer pipelining is modeled by the harness.
+//! across CPU cores ([`exact_knn_parallel`] fans queries out over the shared
+//! [`alaya_device::pool`] work-stealing pool, so index builds and the serving
+//! scheduler never oversubscribe the machine): the speedup curve of Figure
+//! 11a comes from the serial/parallel ratio, and the per-layer pipelining is
+//! modeled by the harness.
 
 use alaya_vector::topk::{top_k_indices, ScoredIdx};
 use alaya_vector::VecStore;
@@ -16,7 +18,9 @@ use alaya_vector::VecStore;
 pub struct KnnParams {
     /// Neighbors per query.
     pub k: usize,
-    /// Worker threads for the parallel builder (0 = all available).
+    /// Maximum concurrent shards on the shared work-stealing pool
+    /// (`0` = let the pool decide, `1` = serial on the caller). Bounds how
+    /// much of the pool an index build may occupy next to serving.
     pub threads: usize,
 }
 
@@ -38,8 +42,9 @@ pub fn exact_knn(base: &VecStore, queries: &VecStore, k: usize) -> Vec<Vec<Score
         .collect()
 }
 
-/// Data-parallel exact kNN: queries are sharded across `threads` workers
-/// (the "GPU-based kNN construction" substitution; see DESIGN.md).
+/// Data-parallel exact kNN: queries fan out over the shared work-stealing
+/// pool (the "GPU-based kNN construction" substitution; see DESIGN.md).
+/// Results are bitwise-identical to [`exact_knn`] for any worker count.
 pub fn exact_knn_parallel(
     base: &VecStore,
     queries: &VecStore,
@@ -50,34 +55,13 @@ pub fn exact_knn_parallel(
     if n == 0 {
         return Vec::new();
     }
-    let threads = if params.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-    } else {
-        params.threads
+    if params.threads == 1 {
+        return exact_knn(base, queries, params.k);
     }
-    .min(n);
-
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Vec<ScoredIdx>> = vec![Vec::new(); n];
-
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            handles.push(s.spawn(move || {
-                for (i, slot) in out_chunk.iter_mut().enumerate() {
-                    let q = queries.row(start + i);
-                    *slot =
-                        top_k_indices(base.iter().map(|b| alaya_vector::dot(q, b)), params.k);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("knn worker panicked");
-        }
-    });
-
-    results
+    alaya_device::pool::global().map_bounded(n, params.threads, |qi| {
+        let q = queries.row(qi);
+        top_k_indices(base.iter().map(|b| alaya_vector::dot(q, b)), params.k)
+    })
 }
 
 #[cfg(test)]

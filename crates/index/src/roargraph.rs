@@ -39,7 +39,8 @@ pub struct RoarGraphParams {
     pub ef_construction: usize,
     /// Run stage-1 kNN data-parallel (the "GPU" builder of §7.2).
     pub parallel_knn: bool,
-    /// Worker threads for the parallel builder (0 = all cores).
+    /// Maximum concurrent shards on the shared `alaya_device::pool`
+    /// (`0` = let the pool decide, `1` = serial).
     pub threads: usize,
 }
 
@@ -129,49 +130,31 @@ impl RoarGraph {
 
         // Stage 2: connectivity enhancement, in frozen-graph batches: each
         // batch's ANNS searches run against the graph state at batch start
-        // (data-parallel when `parallel_knn` — the GPU-pipeline analogue),
-        // then the edges are applied in id order. Results are therefore
-        // identical for any thread count.
+        // (fanned over the shared work-stealing pool when `parallel_knn` —
+        // the GPU-pipeline analogue), then the edges are applied in id
+        // order. Results are therefore identical for any thread count.
         let t1 = Instant::now();
         let half = params.max_degree / 2;
         let batch = 512usize;
-        let threads = if params.parallel_knn {
-            if params.threads == 0 {
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-            } else {
-                params.threads
-            }
-        } else {
-            1
-        };
+        let parallel = params.parallel_knn && params.threads != 1;
         for start in (0..n).step_by(batch) {
             let end = (start + batch).min(n);
             let ids: Vec<u32> = (start as u32..end as u32).collect();
             let search_params = SearchParams { ef: params.ef_construction };
-            let found_per_id: Vec<Vec<alaya_vector::topk::ScoredIdx>> = if threads <= 1 {
+            let found_per_id: Vec<Vec<alaya_vector::topk::ScoredIdx>> = if !parallel {
                 ids.iter()
                     .map(|&id| graph.search_topk(base, base.row(id as usize), half.max(4), search_params))
                     .collect()
             } else {
-                let mut results = vec![Vec::new(); ids.len()];
-                let chunk = ids.len().div_ceil(threads);
                 let graph_ref = &graph;
-                std::thread::scope(|s| {
-                    for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-                        let ids = &ids[t * chunk..(t * chunk + out_chunk.len())];
-                        s.spawn(move || {
-                            for (slot, &id) in out_chunk.iter_mut().zip(ids) {
-                                *slot = graph_ref.search_topk(
-                                    base,
-                                    base.row(id as usize),
-                                    half.max(4),
-                                    search_params,
-                                );
-                            }
-                        });
-                    }
-                });
-                results
+                alaya_device::pool::global().map_bounded(ids.len(), params.threads, |i| {
+                    graph_ref.search_topk(
+                        base,
+                        base.row(ids[i] as usize),
+                        half.max(4),
+                        search_params,
+                    )
+                })
             };
             for (&id, found) in ids.iter().zip(found_per_id) {
                 for s in found {

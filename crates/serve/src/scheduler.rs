@@ -1,0 +1,504 @@
+//! The cross-session attention scheduler.
+//!
+//! Callers from many threads submit attention requests; a dedicated
+//! scheduler thread drains whatever has accumulated into one *batch*
+//! (natural batching: under load the queue fills while the previous batch
+//! executes, when idle a lone request is dispatched immediately), then:
+//!
+//! 1. **Groups** the batch by `(stored context, layer, reused prefix)`.
+//!    Sessions in one group have identical [`QuerySpec`]s, so the
+//!    optimizer runs **once per group** and every member executes under
+//!    the shared plan — the cross-session analogue of the paper's "one
+//!    index, many consumers" economics.
+//! 2. **Executes** the batch on the work-stealing pool: one task per
+//!    `(request, query head)` pair for long contexts, one task per request
+//!    below the serial cutoff (`PARALLEL_MIN_TOKENS`). Heads are
+//!    independent, so this is safe and — because each task writes only its
+//!    own output slot — bitwise deterministic for any worker count or
+//!    steal order.
+//! 3. **Replies** through each request's channel, unblocking its caller.
+//!
+//! The scheduler locks each involved session for the duration of the
+//! batch; `update` calls on those sessions queue behind it, preserving
+//! the per-session ordering contract of the `AttentionBackend` seam.
+//!
+//! [`QuerySpec`]: alaya_query::optimizer::QuerySpec
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use alaya_core::session::PARALLEL_MIN_TOKENS;
+use alaya_core::stored::ContextId;
+use alaya_core::Session;
+use alaya_llm::backend::AttentionBackend as _;
+use alaya_device::memory::{MemoryGuard, OutOfMemory};
+use alaya_device::pool::WorkStealingPool;
+use alaya_query::optimizer::Plan;
+
+use crate::engine::SessionId;
+
+/// Serving-layer errors. Admission failures carry the tracker's typed
+/// [`OutOfMemory`] so callers can shed or retry with real numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session id is not (or no longer) registered.
+    UnknownSession(SessionId),
+    /// Admission control rejected the session: the device budget is full.
+    OutOfMemory(OutOfMemory),
+    /// The engine is shutting down; the request was not executed.
+    ShuttingDown,
+    /// The layer index is out of range for the model; rejected before
+    /// touching the session or the scheduler.
+    InvalidLayer {
+        /// The rejected layer index.
+        layer: usize,
+        /// Layers the model has.
+        n_layers: usize,
+    },
+    /// A query/key/value tensor does not match the model geometry; the
+    /// call was rejected before touching the session or the scheduler, so
+    /// the session stays consistent and co-batched tenants are unaffected.
+    InvalidShape {
+        /// Which tensor was malformed ("query", "key" or "value").
+        what: &'static str,
+        /// Heads the model expects for that tensor.
+        expected_heads: usize,
+        /// Per-head dimension the model expects.
+        expected_dim: usize,
+    },
+    /// Executing the batch containing this request panicked; the whole
+    /// batch was aborted with this error, the engine lives on. A backstop —
+    /// known-malformed requests are rejected up front as
+    /// [`ServeError::InvalidShape`].
+    ExecutionPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
+            ServeError::OutOfMemory(oom) => write!(f, "admission rejected: {oom}"),
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::InvalidLayer { layer, n_layers } => {
+                write!(f, "layer {layer} out of range: the model has {n_layers} layers")
+            }
+            ServeError::InvalidShape { what, expected_heads, expected_dim } => write!(
+                f,
+                "{what} tensor must be {expected_heads} heads x {expected_dim} dims"
+            ),
+            ServeError::ExecutionPanicked => {
+                write!(f, "batch execution panicked; request aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OutOfMemory> for ServeError {
+    fn from(oom: OutOfMemory) -> Self {
+        ServeError::OutOfMemory(oom)
+    }
+}
+
+/// One registered session: the session proper plus its immutable grouping
+/// metadata and the admission reservation it holds while alive.
+pub(crate) struct SessionSlot {
+    pub(crate) session: Mutex<Session>,
+    /// The stored context this session reuses (grouping key part 1).
+    pub(crate) base_ctx: Option<ContextId>,
+    /// Reused prefix length (grouping key part 2; fixed at admission).
+    pub(crate) reused_len: usize,
+    /// Admission reservation; dropping the slot releases the budget.
+    pub(crate) _reservation: Option<MemoryGuard>,
+    /// Reservation growth as the session-local KV outgrows the admitted
+    /// window; dropped (releasing the bytes) with the slot.
+    pub(crate) growth: Mutex<ReservationGrowth>,
+}
+
+/// Tracks how many local-KV tokens the session's reservations cover and
+/// holds the growth guards keeping the tracker in step with real usage.
+pub(crate) struct ReservationGrowth {
+    /// Local tokens covered by the admission reservation plus all growth
+    /// reservations so far.
+    pub(crate) covered_tokens: usize,
+    pub(crate) guards: Vec<MemoryGuard>,
+}
+
+impl SessionSlot {
+    /// Locks the session, recovering from poisoning. Sound because every
+    /// lock holder either only reads the session (execution is `&Session`)
+    /// or appends whole entries (`update`, `note_plan`, `note_tokens`) —
+    /// a batch that panicked while holding the lock (e.g. on a malformed
+    /// co-batched request) never leaves the session half-mutated, so
+    /// innocent tenants sharing that batch must not be bricked by the
+    /// poison flag.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Session> {
+        self.session.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A queued attention request.
+pub(crate) struct Pending {
+    pub(crate) slot: Arc<SessionSlot>,
+    pub(crate) queries: Vec<Vec<f32>>,
+    pub(crate) layer: usize,
+    pub(crate) reply: Sender<Result<Vec<Vec<f32>>, ServeError>>,
+}
+
+/// Monotonic scheduler counters (observability + batching assertions in
+/// tests and benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Attention requests executed.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Optimizer invocations (one per group, not per request).
+    pub plans_computed: u64,
+    /// Requests that executed under a plan computed for a group-mate.
+    pub shared_plan_requests: u64,
+    /// Largest batch dispatched so far.
+    pub max_batch: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    plans_computed: AtomicU64,
+    shared_plan_requests: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl StatsCells {
+    pub(crate) fn snapshot(&self) -> SchedulerStats {
+        SchedulerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            plans_computed: self.plans_computed.load(Ordering::Relaxed),
+            shared_plan_requests: self.shared_plan_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the engine (producer side) and the scheduler
+/// thread (consumer side).
+pub(crate) struct SchedulerCore {
+    pub(crate) queue: Mutex<VecDeque<Pending>>,
+    pub(crate) cv: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) stats: StatsCells,
+    pub(crate) pool: Arc<WorkStealingPool>,
+}
+
+impl SchedulerCore {
+    pub(crate) fn new(pool: Arc<WorkStealingPool>) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsCells::default(),
+            pool,
+        }
+    }
+
+    pub(crate) fn enqueue(&self, p: Pending) {
+        self.queue.lock().unwrap().push_back(p);
+        self.cv.notify_one();
+    }
+}
+
+/// The scheduler thread's main loop: drain → batch → execute, until
+/// shutdown is signalled *and* the queue is empty (queued requests are
+/// always answered, never dropped).
+pub(crate) fn run(core: Arc<SchedulerCore>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = core.queue.lock().unwrap();
+            loop {
+                if !q.is_empty() {
+                    break q.drain(..).collect();
+                }
+                if core.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = core.cv.wait(q).unwrap();
+            }
+        };
+        // A panicking batch (e.g. a malformed request whose head task
+        // panics on the pool) must not kill the scheduler thread: queued
+        // and future requests would then block on `recv` forever. Catch
+        // the unwind, answer every member of the batch with a typed error,
+        // and keep serving. (`execute_batch` only sends replies in its
+        // final loop, after all fallible work, so no member has been
+        // answered twice.) Sessions whose locks were poisoned by the
+        // unwind fail their next use loudly rather than hanging.
+        let replies: Vec<Sender<Result<Vec<Vec<f32>>, ServeError>>> =
+            batch.iter().map(|p| p.reply.clone()).collect();
+        if catch_unwind(AssertUnwindSafe(|| execute_batch(&core, batch))).is_err() {
+            for reply in replies {
+                let _ = reply.send(Err(ServeError::ExecutionPanicked));
+            }
+        }
+    }
+}
+
+type GroupKey = (Option<ContextId>, usize, usize);
+
+fn group_key(p: &Pending) -> GroupKey {
+    (p.slot.base_ctx, p.layer, p.slot.reused_len)
+}
+
+fn slot_ptr(p: &Pending) -> usize {
+    Arc::as_ptr(&p.slot) as usize
+}
+
+fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
+    let stats = &core.stats;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+    // Group by (context, layer, reused prefix): members share one plan.
+    let mut groups: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+    for (i, p) in batch.iter().enumerate() {
+        groups.entry(group_key(p)).or_default().push(i);
+    }
+
+    // Lock every distinct session for the batch. The scheduler is the only
+    // place that ever holds more than one session lock, so ordering cannot
+    // deadlock against `update` callers (who take exactly one).
+    let mut guards: HashMap<usize, MutexGuard<'_, Session>> = HashMap::new();
+    for p in &batch {
+        guards.entry(slot_ptr(p)).or_insert_with(|| p.slot.lock());
+    }
+
+    // Plan once per group; log the plan on every participating session.
+    let mut plans: Vec<Option<Plan>> = vec![None; batch.len()];
+    for idxs in groups.values() {
+        let leader = &batch[idxs[0]];
+        let plan = guards[&slot_ptr(leader)].plan(leader.layer);
+        stats.plans_computed.fetch_add(1, Ordering::Relaxed);
+        stats.shared_plan_requests.fetch_add(idxs.len() as u64 - 1, Ordering::Relaxed);
+        for &i in idxs {
+            plans[i] = Some(plan.clone());
+        }
+    }
+    for (i, p) in batch.iter().enumerate() {
+        if let Some(g) = guards.get_mut(&slot_ptr(p)) {
+            g.note_plan(plans[i].as_ref().expect("every request was grouped"));
+        }
+    }
+
+    // Execute every (request, head) pair on the pool. Each task borrows
+    // its session immutably and owns exactly one output slot.
+    let mut outputs: Vec<Vec<Option<Vec<f32>>>> =
+        batch.iter().map(|p| vec![None; p.queries.len()]).collect();
+    {
+        let sessions: HashMap<usize, &Session> =
+            guards.iter().map(|(&k, g)| (k, &**g)).collect();
+        core.pool.scope(|s| {
+            for ((p, plan), out) in batch.iter().zip(&plans).zip(outputs.iter_mut()) {
+                let session = sessions[&slot_ptr(p)];
+                let plan = plan.as_ref().expect("every request was grouped");
+                let layer = p.layer;
+                if session.seq_len(layer) < PARALLEL_MIN_TOKENS {
+                    // Short-context request: one task for all heads —
+                    // per-head dispatch would cost more than the heads'
+                    // microseconds of work. Requests still parallelize
+                    // against each other.
+                    s.spawn(move || {
+                        for (qh, slot) in out.iter_mut().enumerate() {
+                            *slot =
+                                Some(session.attend_query_head(&p.queries[qh], qh, layer, plan));
+                        }
+                    });
+                } else {
+                    for (qh, slot) in out.iter_mut().enumerate() {
+                        let q = &p.queries[qh];
+                        s.spawn(move || {
+                            *slot = Some(session.attend_query_head(q, qh, layer, plan));
+                        });
+                    }
+                }
+            }
+        });
+    }
+    drop(guards);
+
+    for (p, out) in batch.iter().zip(outputs) {
+        let result: Vec<Vec<f32>> =
+            out.into_iter().map(|o| o.expect("head task filled its slot")).collect();
+        // A dropped receiver means the caller gave up; nothing to do.
+        let _ = p.reply.send(Ok(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaya_core::{Db, DbConfig};
+    use alaya_llm::{FullKvBackend, Model, ModelConfig};
+    use alaya_vector::rng::{gaussian_vec, seeded};
+    use std::sync::mpsc;
+
+    fn slot_for(db: &Db, prompt: &[u32]) -> Arc<SessionSlot> {
+        let (session, _) = db.create_session(prompt);
+        Arc::new(SessionSlot {
+            base_ctx: session.base().map(|b| b.id),
+            reused_len: session.reused_len(),
+            session: Mutex::new(session),
+            _reservation: None,
+            growth: Mutex::new(ReservationGrowth { covered_tokens: usize::MAX, guards: Vec::new() }),
+        })
+    }
+
+    /// One batch, four requests: three sessions over the same stored
+    /// context at the same layer share one plan; a fourth request at
+    /// another layer gets its own. Outputs equal the sequential path.
+    #[test]
+    fn batch_groups_by_context_layer_and_prefix() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let model = Model::new(model_cfg.clone());
+        let ctx: Vec<u32> = (0..40).collect();
+        let mut be = FullKvBackend::new(&model_cfg);
+        model.prefill(&ctx, 0, &mut be);
+        db.import(ctx.clone(), be.into_cache());
+
+        let mut prompt = ctx.clone();
+        prompt.extend([99, 98]);
+        let s1 = slot_for(&db, &prompt);
+        let s2 = slot_for(&db, &prompt);
+        let s3 = slot_for(&db, &prompt);
+
+        let core = SchedulerCore::new(Arc::new(WorkStealingPool::new(4)));
+        let mut rng = seeded(5);
+        let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+            .map(|_| gaussian_vec(&mut rng, model_cfg.head_dim, 1.0))
+            .collect();
+
+        let mk = |slot: &Arc<SessionSlot>, layer: usize| {
+            let (tx, rx) = mpsc::channel();
+            (
+                Pending {
+                    slot: Arc::clone(slot),
+                    queries: queries.clone(),
+                    layer,
+                    reply: tx,
+                },
+                rx,
+            )
+        };
+        let (p1, r1) = mk(&s1, 1);
+        let (p2, r2) = mk(&s2, 1);
+        let (p3, r3) = mk(&s3, 1);
+        let (p4, r4) = mk(&s1, 0);
+        execute_batch(&core, vec![p1, p2, p3, p4]);
+
+        let stats = core.stats.snapshot();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.plans_computed, 2, "3 same-key requests share one plan");
+        assert_eq!(stats.shared_plan_requests, 2);
+        assert_eq!(stats.max_batch, 4);
+
+        let out1 = r1.recv().unwrap().unwrap();
+        let out2 = r2.recv().unwrap().unwrap();
+        let out3 = r3.recv().unwrap().unwrap();
+        let out4 = r4.recv().unwrap().unwrap();
+        // Identical sessions, identical queries → identical outputs.
+        assert_eq!(out1, out2);
+        assert_eq!(out1, out3);
+
+        // And each equals the sequential single-caller path, bitwise.
+        let want1 = s1.session.lock().unwrap().attention_sequential(&queries, 1);
+        assert_eq!(out1, want1);
+        let want4 = s1.session.lock().unwrap().attention_sequential(&queries, 0);
+        assert_eq!(out4, want4);
+    }
+
+    /// Two requests for the *same* session in one batch must not deadlock
+    /// (the slot is locked once, shared by both).
+    #[test]
+    fn duplicate_session_in_one_batch_is_safe() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let slot = slot_for(&db, &[1, 2, 3]);
+        {
+            let mut s = slot.session.lock().unwrap();
+            let q = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_q_heads];
+            let kv = vec![vec![0.25; model_cfg.head_dim]; model_cfg.n_kv_heads];
+            s.update(&q, &kv, &kv, 0);
+        }
+        let core = SchedulerCore::new(Arc::new(WorkStealingPool::new(2)));
+        let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        execute_batch(
+            &core,
+            vec![
+                Pending { slot: Arc::clone(&slot), queries: queries.clone(), layer: 0, reply: tx1 },
+                Pending { slot: Arc::clone(&slot), queries: queries.clone(), layer: 0, reply: tx2 },
+            ],
+        );
+        let a = rx1.recv().unwrap().unwrap();
+        let b = rx2.recv().unwrap().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(core.stats.snapshot().plans_computed, 1);
+    }
+
+    /// The backstop for panics that slip past front-door validation: the
+    /// scheduler thread replies `ExecutionPanicked` to the batch and keeps
+    /// serving later requests instead of dying (which would leave every
+    /// future caller blocked on `recv` forever).
+    #[test]
+    fn panicking_batch_is_contained_and_replied() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let slot = slot_for(&db, &[1, 2, 3]);
+        let core = Arc::new(SchedulerCore::new(Arc::new(WorkStealingPool::new(2))));
+        let sched = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || run(core))
+        };
+
+        // Oversized head count: the derived kv_head is out of range and the
+        // head task panics on the pool (the engine rejects this shape up
+        // front; here we drive the scheduler directly to test the backstop).
+        let bad = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads * 4];
+        let (tx, rx) = mpsc::channel();
+        core.enqueue(Pending { slot: Arc::clone(&slot), queries: bad, layer: 0, reply: tx });
+        assert_eq!(rx.recv().unwrap().unwrap_err(), ServeError::ExecutionPanicked);
+
+        // The scheduler thread survived — and the poisoned session lock is
+        // recovered, so a well-formed request on the same session serves.
+        {
+            let mut s = slot.lock();
+            let q = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_q_heads];
+            let kv = vec![vec![0.25; model_cfg.head_dim]; model_cfg.n_kv_heads];
+            s.update(&q, &kv, &kv, 0);
+        }
+        let good = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+        let (tx2, rx2) = mpsc::channel();
+        core.enqueue(Pending {
+            slot: Arc::clone(&slot),
+            queries: good,
+            layer: 0,
+            reply: tx2,
+        });
+        assert!(rx2.recv().unwrap().is_ok());
+
+        core.shutdown.store(true, Ordering::Release);
+        {
+            let _q = core.queue.lock().unwrap();
+            core.cv.notify_all();
+        }
+        sched.join().unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Concurrency stress tests for the serving subsystem.
+//!
+//! The contract under test: scheduling, batching, and work-stealing
+//! execution may change *where and when* attention runs, but never *what*
+//! it computes — outputs must be bitwise-identical to the sequential
+//! single-caller path — and admission control must fail closed with a
+//! typed error, never a panic.
+
+use std::sync::Arc;
+
+use alaya_core::{Db, DbConfig};
+use alaya_device::memory::MemoryTracker;
+use alaya_llm::{FullKvBackend, Model, ModelConfig};
+use alaya_serve::{ServeEngine, ServeError, ServeOptions};
+use alaya_vector::rng::{gaussian_vec, seeded};
+
+/// Builds a DB holding one stored context every test session reuses.
+fn db_with_context(model_cfg: &ModelConfig, tokens: &[u32]) -> Arc<Db> {
+    let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+    let model = Model::new(model_cfg.clone());
+    let mut backend = FullKvBackend::new(model_cfg);
+    model.prefill(tokens, 0, &mut backend);
+    db.import(tokens.to_vec(), backend.into_cache());
+    Arc::new(db)
+}
+
+/// ≥8 threads × ≥8 sessions over one shared stored context: every engine
+/// session's scheduled outputs must equal (bit for bit) a twin session
+/// driven sequentially through `Session::attention_sequential`.
+#[test]
+fn concurrent_serving_is_bitwise_identical_to_sequential() {
+    const THREADS: usize = 8;
+    const STEPS: usize = 6;
+
+    let model_cfg = ModelConfig::tiny();
+    let context: Vec<u32> = (0..60u32).map(|i| (i * 7) % 250).collect();
+    let db = db_with_context(&model_cfg, &context);
+    let engine = ServeEngine::new(Arc::clone(&db));
+
+    // All sessions open over the same prompt, so all reuse the same stored
+    // context with the same prefix — the scheduler's best case.
+    let mut extended = context.clone();
+    extended.extend([201u32, 202, 203]);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let db = &db;
+            let model_cfg = &model_cfg;
+            let prompt = &extended;
+            s.spawn(move || {
+                let (sid, truncated) = engine.admit(prompt).expect("admission");
+                let (mut reference, ref_truncated) = db.create_session(prompt);
+                assert_eq!(truncated, ref_truncated);
+                assert_eq!(reference.reused_len(), prompt.len() - 3);
+
+                // Identical per-thread RNG streams drive both twins.
+                let mut rng = seeded(1000 + t as u64);
+                let dim = model_cfg.head_dim;
+                for _step in 0..STEPS {
+                    for layer in 0..model_cfg.n_layers {
+                        let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                            .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                            .collect();
+                        let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                            .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                            .collect();
+                        let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                            .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                            .collect();
+
+                        engine.update(sid, &queries, &keys, &values, layer).unwrap();
+                        let served = engine.attention(sid, &queries, layer).unwrap();
+
+                        reference.update(&queries, &keys, &values, layer);
+                        let want = reference.attention_sequential(&queries, layer);
+
+                        // Bitwise, not approximate: scheduling must not
+                        // change a single ULP.
+                        assert_eq!(served, want, "thread {t} layer {layer} diverged");
+                    }
+                }
+                engine.close(sid).unwrap();
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.requests as usize,
+        THREADS * STEPS * model_cfg.n_layers,
+        "every request must have been executed"
+    );
+    assert!(stats.batches >= 1);
+    assert!(stats.plans_computed <= stats.requests);
+    assert_eq!(engine.n_sessions(), 0, "all sessions closed");
+    assert_eq!(db.gpu().in_use(), 0, "all admission reservations released");
+}
+
+/// Sessions with *different* prompts (some reuse the stored context, some
+/// don't) still serve correct, bitwise-identical outputs concurrently.
+#[test]
+fn mixed_reuse_sessions_serve_concurrently() {
+    const THREADS: usize = 8;
+    const STEPS: usize = 4;
+
+    let model_cfg = ModelConfig::tiny();
+    let context: Vec<u32> = (0..50u32).collect();
+    let db = db_with_context(&model_cfg, &context);
+    let engine = ServeEngine::new(Arc::clone(&db));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let db = &db;
+            let model_cfg = &model_cfg;
+            let context = &context;
+            s.spawn(move || {
+                // Even threads reuse the stored context (partial prefix),
+                // odd threads start cold.
+                let prompt: Vec<u32> = if t % 2 == 0 {
+                    let mut p = context[..30].to_vec();
+                    p.extend([240 + t as u32, 241]);
+                    p
+                } else {
+                    vec![100 + t as u32, 3, 5, 7]
+                };
+                let (sid, _) = engine.admit(&prompt).expect("admission");
+                let (mut reference, _) = db.create_session(&prompt);
+
+                let mut rng = seeded(77 + t as u64);
+                for _ in 0..STEPS {
+                    for layer in 0..model_cfg.n_layers {
+                        let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                            .map(|_| gaussian_vec(&mut rng, model_cfg.head_dim, 1.0))
+                            .collect();
+                        let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                            .map(|_| gaussian_vec(&mut rng, model_cfg.head_dim, 1.0))
+                            .collect();
+                        let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                            .map(|_| gaussian_vec(&mut rng, model_cfg.head_dim, 1.0))
+                            .collect();
+                        engine.update(sid, &queries, &keys, &values, layer).unwrap();
+                        let served = engine.attention(sid, &queries, layer).unwrap();
+                        reference.update(&queries, &keys, &values, layer);
+                        let want = reference.attention_sequential(&queries, layer);
+                        assert_eq!(served, want, "thread {t} diverged");
+                    }
+                }
+                engine.close(sid).unwrap();
+            });
+        }
+    });
+    assert_eq!(engine.n_sessions(), 0);
+}
+
+/// Admission control fails closed: once the device budget is exhausted the
+/// engine returns `ServeError::OutOfMemory` (it does not panic), and
+/// closing a session frees its reservation for the next admission.
+#[test]
+fn admission_control_returns_out_of_memory() {
+    let model_cfg = ModelConfig::tiny();
+    let max_local_tokens = 32usize;
+    let mut cfg = DbConfig::for_tests(model_cfg.clone());
+    let per_session = alaya_serve::admission::session_bytes(&cfg, max_local_tokens);
+    // Budget for exactly two sessions (plus slack smaller than a third).
+    cfg.gpu = MemoryTracker::new(2 * per_session + per_session / 2);
+    let db = Arc::new(Db::new(cfg));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeOptions { max_local_tokens, ..Default::default() },
+    );
+
+    let prompt: Vec<u32> = (0..10).collect();
+    let (a, _) = engine.admit(&prompt).expect("first admission fits");
+    let (_b, _) = engine.admit(&prompt).expect("second admission fits");
+    match engine.admit(&prompt) {
+        Err(ServeError::OutOfMemory(oom)) => {
+            assert_eq!(oom.requested, per_session);
+            assert_eq!(oom.in_use, 2 * per_session);
+            assert_eq!(oom.budget, 2 * per_session + per_session / 2);
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+
+    // Rejected admission must not leak budget; closing a session frees one
+    // slot and the next admission succeeds.
+    assert_eq!(db.gpu().in_use(), 2 * per_session);
+    engine.close(a).unwrap();
+    let (c, _) = engine.admit(&prompt).expect("slot freed by close");
+    engine.close(c).unwrap();
+}
+
+/// Admitted-but-rejected callers racing from many threads: the tracker
+/// never overshoots and every failure is a typed error.
+#[test]
+fn concurrent_admission_never_overshoots() {
+    let model_cfg = ModelConfig::tiny();
+    let max_local_tokens = 16usize;
+    let mut cfg = DbConfig::for_tests(model_cfg.clone());
+    let per_session = alaya_serve::admission::session_bytes(&cfg, max_local_tokens);
+    cfg.gpu = MemoryTracker::new(3 * per_session);
+    let db = Arc::new(Db::new(cfg));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeOptions { max_local_tokens, ..Default::default() },
+    );
+
+    let prompt: Vec<u32> = (0..8).collect();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let engine = &engine;
+            let db = &db;
+            let prompt = &prompt;
+            s.spawn(move || {
+                for _ in 0..20 {
+                    match engine.admit(prompt) {
+                        Ok((sid, _)) => {
+                            assert!(db.gpu().in_use() <= db.gpu().budget());
+                            engine.close(sid).unwrap();
+                        }
+                        Err(ServeError::OutOfMemory(_)) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(db.gpu().in_use(), 0);
+}

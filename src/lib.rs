@@ -4,6 +4,7 @@
 //! * [`core`] — the `DB` / `Session` public API,
 //! * [`llm`] — the transformer substrate and `AttentionBackend` seam,
 //! * [`attention`] — sparse attention engines,
+//! * [`serve`] — concurrent multi-session serving: scheduler, pool, admission,
 //! * [`query`] — query types, DIPRS, and the optimizer,
 //! * [`index`] — flat / graph / coarse vector indexes,
 //! * [`storage`] — the vector file system and buffer manager,
@@ -17,6 +18,7 @@ pub use alaya_device as device;
 pub use alaya_index as index;
 pub use alaya_llm as llm;
 pub use alaya_query as query;
+pub use alaya_serve as serve;
 pub use alaya_storage as storage;
 pub use alaya_vector as vector;
 pub use alaya_workloads as workloads;

@@ -267,6 +267,96 @@ fn session_update_attention_store_round_trip() {
     assert_eq!(trunc2, &extended[steps..]);
 }
 
+/// The same Table 2 round trip as `session_update_attention_store_round_trip`,
+/// but driven *through the serving scheduler*: `ServeEngine::admit →
+/// update → attention (batched, pool-executed) → store`, then reuse. The
+/// serving layer must neither perturb a single output bit relative to the
+/// coupled reference nor change what `store` materializes.
+#[test]
+fn scheduler_update_attention_store_round_trip() {
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    let engine = alayadb::serve::ServeEngine::new(Arc::clone(&db));
+    let steps = 10usize;
+    let tokens: Vec<u32> = (0..steps as u32).map(|i| i * 13 % 250).collect();
+
+    // Fresh DB: nothing to reuse, the full prompt comes back untruncated.
+    let (sid, truncated) = engine.admit(&tokens).unwrap();
+    assert_eq!(truncated, tokens);
+
+    // Drive update + attention per layer through the scheduler, mirroring
+    // every step into the coupled-architecture reference backend and
+    // remembering the K/V streams for the store check.
+    let mut reference = FullKvBackend::new(&model_cfg);
+    let mut rng = seeded(2026);
+    let dim = model_cfg.head_dim;
+    type PerHead = Vec<Vec<f32>>;
+    let mut pushed: Vec<Vec<(PerHead, PerHead)>> = vec![Vec::new(); model_cfg.n_layers];
+    for _step in 0..steps {
+        for (layer, layer_pushed) in pushed.iter_mut().enumerate() {
+            let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| alayadb::vector::rng::gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            layer_pushed.push((keys.clone(), values.clone()));
+
+            engine.update(sid, &queries, &keys, &values, layer).unwrap();
+            let out = engine.attention(sid, &queries, layer).unwrap();
+            assert_eq!(out.len(), model_cfg.n_q_heads);
+
+            let want = reference.attend(
+                layer,
+                alayadb::llm::StepInput { queries: queries.clone(), keys, values },
+            );
+            for (o, w) in out.iter().zip(&want) {
+                for (a, b) in o.iter().zip(w) {
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "scheduled attention diverged from the coupled reference"
+                    );
+                }
+            }
+        }
+        assert_eq!(engine.seq_len(sid, 0).unwrap(), _step + 1);
+    }
+
+    // Late materialization through the engine: the stored KV must be
+    // byte-for-byte the K/V streams the session absorbed.
+    engine.note_tokens(sid, &tokens).unwrap();
+    let id = engine.store(sid).unwrap();
+    assert_eq!(db.n_contexts(), 1);
+    let stored = db.context(id).unwrap();
+    assert_eq!(stored.len(), steps);
+    for (layer, layer_pushed) in pushed.iter().enumerate() {
+        for kvh in 0..model_cfg.n_kv_heads {
+            let head = stored.kv.head(layer, kvh);
+            assert_eq!(head.keys.len(), steps);
+            for (i, (keys, values)) in layer_pushed.iter().enumerate() {
+                assert_eq!(head.keys.row(i), &keys[kvh][..]);
+                assert_eq!(head.values.row(i), &values[kvh][..]);
+            }
+        }
+    }
+    engine.close(sid).unwrap();
+    assert_eq!(engine.n_sessions(), 0);
+    assert!(engine.stats().requests >= (steps * model_cfg.n_layers) as u64);
+
+    // A follow-up admission extending the stored conversation reuses the
+    // whole stored context; only the new suffix remains to prefill.
+    let mut extended = tokens.clone();
+    extended.extend([251u32, 252, 253]);
+    let (sid2, trunc2) = engine.admit(&extended).unwrap();
+    let s2_len = engine.seq_len(sid2, 0).unwrap();
+    assert_eq!(s2_len, steps);
+    assert_eq!(trunc2, &extended[steps..]);
+    engine.close(sid2).unwrap();
+}
+
 /// Memory accounting sanity across the whole stack: Table 1's ordering.
 #[test]
 fn gpu_memory_ordering_across_architectures() {
