@@ -23,7 +23,12 @@ impl HeadContext {
     /// Wraps raw KV matrices with no indexes.
     pub fn new(keys: VecStore, values: VecStore) -> Self {
         assert_eq!(keys.len(), values.len(), "keys/values must pair 1:1");
-        Self { keys, values, graph: None, coarse: None }
+        Self {
+            keys,
+            values,
+            graph: None,
+            coarse: None,
+        }
     }
 
     /// Number of cached tokens.

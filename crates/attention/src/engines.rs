@@ -57,7 +57,9 @@ impl StreamingLlm {
     /// Table 5 setting: `[128]+8K` — 128 initial tokens plus an 8K local
     /// window.
     pub fn paper_default() -> Self {
-        Self { window: WindowSpec::new(128, 8192) }
+        Self {
+            window: WindowSpec::new(128, 8192),
+        }
     }
 }
 
@@ -110,7 +112,14 @@ impl SparseAttention for InfLlm {
             .as_ref()
             .expect("InfLLM requires a coarse index (HeadContext::build_coarse)");
         let retrieved = coarse.select_tokens(q, self.n_select_blocks);
-        attend_selected(q, &ctx.keys, &ctx.values, ctx.scale(), self.window, &retrieved)
+        attend_selected(
+            q,
+            &ctx.keys,
+            &ctx.values,
+            ctx.scale(),
+            self.window,
+            &retrieved,
+        )
     }
 
     fn gpu_bytes(&self, n_tokens: usize, kv_bytes_per_token: u64) -> u64 {
@@ -137,12 +146,20 @@ pub struct TopKRetrieval {
 impl TopKRetrieval {
     /// Table 5 "Top100": `[128+512] + 100` tokens.
     pub fn paper_top100() -> Self {
-        Self { window: WindowSpec::paper_default(), k: 100, ef: 160 }
+        Self {
+            window: WindowSpec::paper_default(),
+            k: 100,
+            ef: 160,
+        }
     }
 
     /// Table 5 "Top2000": `[128+512] + 2K` tokens.
     pub fn paper_top2000() -> Self {
-        Self { window: WindowSpec::paper_default(), k: 2000, ef: 2400 }
+        Self {
+            window: WindowSpec::paper_default(),
+            k: 2000,
+            ef: 2400,
+        }
     }
 }
 
@@ -166,7 +183,14 @@ impl SparseAttention for TopKRetrieval {
                 .map(|s| s.idx as u32)
                 .collect(),
         };
-        attend_selected(q, &ctx.keys, &ctx.values, ctx.scale(), self.window, &retrieved)
+        attend_selected(
+            q,
+            &ctx.keys,
+            &ctx.values,
+            ctx.scale(),
+            self.window,
+            &retrieved,
+        )
     }
 
     fn gpu_bytes(&self, n_tokens: usize, kv_bytes_per_token: u64) -> u64 {
@@ -192,7 +216,11 @@ impl DiprsAttention {
     pub fn paper_default() -> Self {
         Self {
             window: WindowSpec::paper_default(),
-            params: DiprsParams { beta: 50.0, l0: 64, max_visits: usize::MAX },
+            params: DiprsParams {
+                beta: 50.0,
+                l0: 64,
+                max_visits: usize::MAX,
+            },
             window_seeding: true,
         }
     }
@@ -230,16 +258,15 @@ impl SparseAttention for DiprsAttention {
                 .collect(),
         };
 
-        // Merge: window partition already computed — reuse it.
-        let mut cpu_acc = OnlineSoftmax::new(ctx.values.dim());
-        let mut extra = 0usize;
-        for &id in &retrieved {
-            if self.window.contains(id as usize, n) {
-                continue;
-            }
-            extra += 1;
-            cpu_acc.push(ctx.keys.dot_row(q, id as usize) * scale, ctx.values.row(id as usize));
-        }
+        // Merge: window partition already computed — reuse it. Retrieved
+        // tokens outside the window are scored in blocks via
+        // `partial_softmax` (bitwise-identical to the per-key loop).
+        let extras: Vec<u32> = retrieved
+            .into_iter()
+            .filter(|&id| !self.window.contains(id as usize, n))
+            .collect();
+        let extra = extras.len();
+        let cpu_acc = partial_softmax(q, &ctx.keys, &ctx.values, scale, extras);
         let mut merged = window_acc;
         merged.merge(&cpu_acc);
         AttendOutput {
@@ -295,11 +322,23 @@ mod tests {
 
         let window = WindowSpec::new(16, 32);
         let engines: Vec<Box<dyn SparseAttention>> = vec![
-            Box::new(InfLlm { window, n_select_blocks: 4, gpu_cache_tokens: 128 }),
-            Box::new(TopKRetrieval { window, k: 32, ef: 64 }),
+            Box::new(InfLlm {
+                window,
+                n_select_blocks: 4,
+                gpu_cache_tokens: 128,
+            }),
+            Box::new(TopKRetrieval {
+                window,
+                k: 32,
+                ef: 64,
+            }),
             Box::new(DiprsAttention {
                 window,
-                params: DiprsParams { beta: 8.0, l0: 32, max_visits: usize::MAX },
+                params: DiprsParams {
+                    beta: 8.0,
+                    l0: 32,
+                    max_visits: usize::MAX,
+                },
                 window_seeding: true,
             }),
         ];
@@ -313,7 +352,10 @@ mod tests {
         // StreamingLLM misses the planted mid-context token → diverges.
         let stream = StreamingLlm { window }.attend(&q, &ctx);
         let sim = cosine(&stream.out, &full.out);
-        assert!(sim < 0.9, "StreamingLLM should miss the critical token, cosine {sim}");
+        assert!(
+            sim < 0.9,
+            "StreamingLLM should miss the critical token, cosine {sim}"
+        );
     }
 
     #[test]
@@ -322,12 +364,20 @@ mod tests {
         let (ctx, q) = planted_ctx(512, 16, 300);
         let diprs_out = DiprsAttention {
             window: WindowSpec::new(4, 8),
-            params: DiprsParams { beta: 2.0, l0: 16, max_visits: usize::MAX },
+            params: DiprsParams {
+                beta: 2.0,
+                l0: 16,
+                max_visits: usize::MAX,
+            },
             window_seeding: true,
         }
         .attend(&q, &ctx);
-        let topk_out =
-            TopKRetrieval { window: WindowSpec::new(4, 8), k: 100, ef: 128 }.attend(&q, &ctx);
+        let topk_out = TopKRetrieval {
+            window: WindowSpec::new(4, 8),
+            k: 100,
+            ef: 128,
+        }
+        .attend(&q, &ctx);
         assert!(
             diprs_out.n_attended < topk_out.n_attended,
             "DIPRS ({}) should retrieve fewer than top-100 ({}) on a peaked head",
@@ -363,8 +413,7 @@ mod tests {
         assert_eq!(got.n_attended, 16);
 
         // Manual reference.
-        let mut scores: Vec<f32> =
-            (0..16).map(|i| keys.dot_row(&q, i) * ctx.scale()).collect();
+        let mut scores: Vec<f32> = (0..16).map(|i| keys.dot_row(&q, i) * ctx.scale()).collect();
         alaya_vector::softmax_in_place(&mut scores);
         let mut want = vec![0.0f32; 4];
         for (w, i) in scores.iter().zip(0..16) {
@@ -386,8 +435,16 @@ mod tests {
         let w = WindowSpec::new(8, 8); // bigger than the context
         for e in [
             &StreamingLlm { window: w } as &dyn SparseAttention,
-            &InfLlm { window: w, n_select_blocks: 2, gpu_cache_tokens: 10 },
-            &TopKRetrieval { window: w, k: 5, ef: 8 },
+            &InfLlm {
+                window: w,
+                n_select_blocks: 2,
+                gpu_cache_tokens: 10,
+            },
+            &TopKRetrieval {
+                window: w,
+                k: 5,
+                ef: 8,
+            },
             &DiprsAttention {
                 window: w,
                 params: DiprsParams::default(),
@@ -410,7 +467,12 @@ mod tests {
         let q = gaussian_vec(&mut rng, 8, 1.0);
         let full = FullAttention.attend(&q, &ctx);
 
-        let topk = TopKRetrieval { window: WindowSpec::new(4, 4), k: 64, ef: 64 }.attend(&q, &ctx);
+        let topk = TopKRetrieval {
+            window: WindowSpec::new(4, 4),
+            k: 64,
+            ef: 64,
+        }
+        .attend(&q, &ctx);
         // k = n → identical to full attention.
         for (a, b) in topk.out.iter().zip(&full.out) {
             assert!((a - b).abs() < 1e-4);
@@ -418,7 +480,11 @@ mod tests {
 
         let dipr = DiprsAttention {
             window: WindowSpec::new(4, 4),
-            params: DiprsParams { beta: 1e9, l0: 8, max_visits: usize::MAX },
+            params: DiprsParams {
+                beta: 1e9,
+                l0: 8,
+                max_visits: usize::MAX,
+            },
             window_seeding: false,
         }
         .attend(&q, &ctx);

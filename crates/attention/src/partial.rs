@@ -25,8 +25,18 @@ pub struct AttendOutput {
     pub max_logit: f32,
 }
 
+/// Keys scored per [`alaya_vector::VecStore::dot_ids`] gather — large enough
+/// to amortize per-key dispatch, small enough to stay cache-resident.
+const SCORE_BLOCK: usize = 64;
+
 /// Partial attention over an explicit id set, returned as a mergeable
 /// accumulator.
+///
+/// Logits are computed a [`SCORE_BLOCK`]-sized block of keys at a time
+/// (`dot_ids` is bitwise-identical to per-id `dot_row`), then pushed into the
+/// accumulator in id order — so the result is bitwise identical to the
+/// one-push-per-key loop this replaces, and `attention_sequential` remains an
+/// exact oracle for everything built on top.
 pub fn partial_softmax(
     q: &[f32],
     keys: &VecStore,
@@ -35,9 +45,20 @@ pub fn partial_softmax(
     ids: impl IntoIterator<Item = u32>,
 ) -> OnlineSoftmax {
     let mut acc = OnlineSoftmax::new(values.dim());
-    for id in ids {
-        let score = keys.dot_row(q, id as usize) * scale;
-        acc.push(score, values.row(id as usize));
+    let mut it = ids.into_iter();
+    let mut block: Vec<u32> = Vec::with_capacity(SCORE_BLOCK);
+    let mut scores = [0.0f32; SCORE_BLOCK];
+    loop {
+        block.clear();
+        block.extend(it.by_ref().take(SCORE_BLOCK));
+        if block.is_empty() {
+            break;
+        }
+        let scores = &mut scores[..block.len()];
+        keys.dot_ids(q, &block, scores);
+        for (&id, &s) in block.iter().zip(scores.iter()) {
+            acc.push(s * scale, values.row(id as usize));
+        }
     }
     acc
 }
@@ -61,20 +82,21 @@ pub fn attend_selected(
 
     // "CPU" partition: retrieved tokens outside the window. Selection has
     // set semantics: duplicates (within `retrieved` or against the window)
-    // must not double-weight a token's value.
-    let mut extra = 0usize;
-    let mut cpu_acc = OnlineSoftmax::new(values.dim());
+    // must not double-weight a token's value. Dedup first, then score the
+    // survivors as blocks through `partial_softmax` (same push order as the
+    // old per-key loop → bitwise-identical accumulator).
     let mut seen = vec![false; if retrieved.is_empty() { 0 } else { n }];
+    let mut extras: Vec<u32> = Vec::with_capacity(retrieved.len());
     for &id in retrieved {
         debug_assert!((id as usize) < n, "retrieved id out of range");
         if window.contains(id as usize, n) || seen[id as usize] {
             continue;
         }
         seen[id as usize] = true;
-        extra += 1;
-        let score = keys.dot_row(q, id as usize) * scale;
-        cpu_acc.push(score, values.row(id as usize));
+        extras.push(id);
     }
+    let extra = extras.len();
+    let cpu_acc = partial_softmax(q, keys, values, scale, extras);
 
     // Aggregation (Equation (1) over the union, via LSE merge).
     let mut merged = window_acc;
@@ -90,7 +112,11 @@ pub fn attend_selected(
 /// baseline and the quality ceiling).
 pub fn attend_all(q: &[f32], keys: &VecStore, values: &VecStore, scale: f32) -> AttendOutput {
     let acc = partial_softmax(q, keys, values, scale, 0..keys.len() as u32);
-    AttendOutput { out: acc.output(), n_attended: keys.len(), max_logit: acc.max_score() }
+    AttendOutput {
+        out: acc.output(),
+        n_attended: keys.len(),
+        max_logit: acc.max_score(),
+    }
 }
 
 #[cfg(test)]
@@ -114,10 +140,15 @@ mod tests {
         let full = attend_all(&q, &keys, &values, scale);
         // Window covers some, retrieval covers the rest.
         let window = WindowSpec::new(8, 8);
-        let rest: Vec<u32> = (0..64u32).filter(|&i| !window.contains(i as usize, 64)).collect();
+        let rest: Vec<u32> = (0..64u32)
+            .filter(|&i| !window.contains(i as usize, 64))
+            .collect();
         let sparse = attend_selected(&q, &keys, &values, scale, window, &rest);
 
-        assert!(close(&full.out, &sparse.out, 1e-4), "data-centric merge must be exact");
+        assert!(
+            close(&full.out, &sparse.out, 1e-4),
+            "data-centric merge must be exact"
+        );
         assert_eq!(sparse.n_attended, 64);
         assert!((full.max_logit - sparse.max_logit).abs() < 1e-5);
     }
@@ -157,8 +188,16 @@ mod tests {
 
         let without = attend_selected(&q, &keys, &values, 1.0, window, &[]);
         let with = attend_selected(&q, &keys, &values, 1.0, window, &[16]);
-        assert!(with.out[0] > 90.0, "critical token dominates: {:?}", with.out);
-        assert!(without.out[0] < 1.0, "missing token leaves mass on window: {:?}", without.out);
+        assert!(
+            with.out[0] > 90.0,
+            "critical token dominates: {:?}",
+            with.out
+        );
+        assert!(
+            without.out[0] < 1.0,
+            "missing token leaves mass on window: {:?}",
+            without.out
+        );
     }
 
     #[test]

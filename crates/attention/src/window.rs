@@ -24,7 +24,10 @@ impl WindowSpec {
 
     /// The paper's Table 5 setting for Top-k and DIPRS: `[128+512]`.
     pub fn paper_default() -> Self {
-        Self { initial: 128, last: 512 }
+        Self {
+            initial: 128,
+            last: 512,
+        }
     }
 
     /// Total window tokens for a context of `n` (never exceeds `n`).
@@ -77,7 +80,13 @@ mod tests {
 
     #[test]
     fn contains_matches_token_ids() {
-        for (init, last, n) in [(2usize, 3usize, 10usize), (4, 4, 6), (0, 2, 5), (3, 0, 5), (0, 0, 4)] {
+        for (init, last, n) in [
+            (2usize, 3usize, 10usize),
+            (4, 4, 6),
+            (0, 2, 5),
+            (3, 0, 5),
+            (0, 0, 4),
+        ] {
             let w = WindowSpec::new(init, last);
             let ids: std::collections::HashSet<u32> = w.token_ids(n).collect();
             for id in 0..n {

@@ -25,7 +25,11 @@ fn fixture(n: usize, dim: usize) -> (alaya_index::graph::NeighborGraph, VecStore
 fn bench_window_seeding(c: &mut Criterion) {
     let dim = 32;
     let (graph, keys, queries) = fixture(20_000, dim);
-    let params = DiprsParams { beta: 2.0 * (dim as f32).sqrt(), l0: 64, max_visits: usize::MAX };
+    let params = DiprsParams {
+        beta: 2.0 * (dim as f32).sqrt(),
+        l0: 64,
+        max_visits: usize::MAX,
+    };
 
     let mut group = c.benchmark_group("diprs_window_seeding");
     group.bench_function("unseeded", |b| {
@@ -52,7 +56,11 @@ fn bench_window_seeding(c: &mut Criterion) {
 fn bench_filtering(c: &mut Criterion) {
     let dim = 32;
     let (graph, keys, queries) = fixture(20_000, dim);
-    let params = DiprsParams { beta: 2.0 * (dim as f32).sqrt(), l0: 64, max_visits: usize::MAX };
+    let params = DiprsParams {
+        beta: 2.0 * (dim as f32).sqrt(),
+        l0: 64,
+        max_visits: usize::MAX,
+    };
     let prefix = 4_000usize; // 20% reuse ratio
 
     let mut group = c.benchmark_group("filtered_diprs");
@@ -83,9 +91,12 @@ fn bench_gqa_sharing(c: &mut Criterion) {
     let n = 3_000;
     let group_size = 4;
     let mut rng = seeded(31);
-    let keys: Vec<VecStore> = (0..2).map(|_| gaussian_store(&mut rng, n, dim, 1.0)).collect();
-    let queries: Vec<VecStore> =
-        (0..2 * group_size).map(|_| gaussian_store(&mut rng, n, dim, 1.1)).collect();
+    let keys: Vec<VecStore> = (0..2)
+        .map(|_| gaussian_store(&mut rng, n, dim, 1.0))
+        .collect();
+    let queries: Vec<VecStore> = (0..2 * group_size)
+        .map(|_| gaussian_store(&mut rng, n, dim, 1.1))
+        .collect();
 
     let mut group = c.benchmark_group("gqa_index_build");
     group.sample_size(10);

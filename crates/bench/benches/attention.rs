@@ -36,14 +36,29 @@ fn bench_engines(c: &mut Criterion) {
         ("streaming", Box::new(StreamingLlm { window: w })),
         (
             "infllm",
-            Box::new(InfLlm { window: w, n_select_blocks: 8, gpu_cache_tokens: 4096 }),
+            Box::new(InfLlm {
+                window: w,
+                n_select_blocks: 8,
+                gpu_cache_tokens: 4096,
+            }),
         ),
-        ("top100", Box::new(TopKRetrieval { window: w, k: 100, ef: 200 })),
+        (
+            "top100",
+            Box::new(TopKRetrieval {
+                window: w,
+                k: 100,
+                ef: 200,
+            }),
+        ),
         (
             "diprs",
             Box::new(DiprsAttention {
                 window: w,
-                params: DiprsParams { beta: 2.0 * sqrt_d, l0: 64, max_visits: usize::MAX },
+                params: DiprsParams {
+                    beta: 2.0 * sqrt_d,
+                    l0: 64,
+                    max_visits: usize::MAX,
+                },
                 window_seeding: true,
             }),
         ),

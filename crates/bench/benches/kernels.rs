@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use alaya_vector::rng::{gaussian_store, gaussian_vec, seeded};
 use alaya_vector::softmax::{softmax_in_place, OnlineSoftmax};
-use alaya_vector::{dot, top_k_indices};
+use alaya_vector::{dot, dot_many, l2_sq, top_k_indices};
 
 fn bench_dot(c: &mut Criterion) {
     let mut group = c.benchmark_group("dot");
@@ -15,6 +15,44 @@ fn bench_dot(c: &mut Criterion) {
         group.throughput(Throughput::Elements(dim as u64));
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
             bench.iter(|| dot(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_l2_sq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_sq");
+    for dim in [32usize, 128, 1024] {
+        let mut rng = seeded(5);
+        let a = gaussian_vec(&mut rng, dim, 1.0);
+        let b = gaussian_vec(&mut rng, dim, 1.0);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_many(c: &mut Criterion) {
+    // Batched query-against-many-keys scoring: the unit of work behind
+    // DIPRS candidate expansion and per-head attention over a stored head.
+    let mut group = c.benchmark_group("dot_many");
+    let dim = 128usize;
+    for n in [64usize, 1024, 8192] {
+        let mut rng = seeded(6);
+        let q = gaussian_vec(&mut rng, dim, 1.0);
+        let keys = gaussian_vec(&mut rng, dim * n, 1.0);
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements((dim * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                dot_many(
+                    std::hint::black_box(&q),
+                    std::hint::black_box(&keys),
+                    std::hint::black_box(&mut out),
+                )
+            })
         });
     }
     group.finish();
@@ -31,7 +69,10 @@ fn bench_scan_scoring(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
-                top_k_indices((0..n).map(|i| keys.dot_row(std::hint::black_box(&q), i)), 100)
+                top_k_indices(
+                    (0..n).map(|i| keys.dot_row(std::hint::black_box(&q), i)),
+                    100,
+                )
             })
         });
     }
@@ -81,6 +122,6 @@ fn bench_online_softmax_merge(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_dot, bench_scan_scoring, bench_softmax, bench_online_softmax_merge
+    targets = bench_dot, bench_l2_sq, bench_dot_many, bench_scan_scoring, bench_softmax, bench_online_softmax_merge
 }
 criterion_main!(benches);

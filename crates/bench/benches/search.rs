@@ -65,7 +65,11 @@ fn bench_diprs_vs_topk(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("diprs_vs_topk");
     group.bench_function("diprs_beta2", |b| {
-        let params = DiprsParams { beta: 2.0 * (dim as f32).sqrt(), l0: 64, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta: 2.0 * (dim as f32).sqrt(),
+            l0: 64,
+            max_visits: usize::MAX,
+        };
         let mut qi = 0;
         b.iter(|| {
             qi = (qi + 1) % queries.len();

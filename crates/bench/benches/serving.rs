@@ -60,8 +60,9 @@ fn bench_session_attention(c: &mut Criterion) {
     let (mut session, _) = db.create_session(&prompt);
 
     let mut rng = seeded(21);
-    let queries: Vec<Vec<f32>> =
-        (0..model.n_q_heads).map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0)).collect();
+    let queries: Vec<Vec<f32>> = (0..model.n_q_heads)
+        .map(|_| gaussian_vec(&mut rng, model.head_dim, 1.0))
+        .collect();
 
     let mut group = c.benchmark_group("session_attention_4k");
     group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {

@@ -75,8 +75,12 @@ fn bench_scan_disk_vs_memory(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("flat_top100");
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("memory", |b| b.iter(|| FlatIndex.search_topk(&keys, &q, 100)));
-    group.bench_function("buffer_pool", |b| b.iter(|| FlatIndex.search_topk(&disk, &q, 100)));
+    group.bench_function("memory", |b| {
+        b.iter(|| FlatIndex.search_topk(&keys, &q, 100))
+    });
+    group.bench_function("buffer_pool", |b| {
+        b.iter(|| FlatIndex.search_topk(&disk, &q, 100))
+    });
     group.finish();
 }
 

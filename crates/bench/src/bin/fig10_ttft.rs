@@ -48,7 +48,11 @@ fn main() {
     let rg = RoarGraph::build(&keys, &train, RoarGraphParams::default());
     let graph = rg.graph();
 
-    let params = DiprsParams { beta: 2.0 * (dim as f32).sqrt(), l0: 64, max_visits: usize::MAX };
+    let params = DiprsParams {
+        beta: 2.0 * (dim as f32).sqrt(),
+        l0: 64,
+        max_visits: usize::MAX,
+    };
     let probes = 64usize;
     let queries = gaussian_store(&mut rng, probes, dim, 1.0);
     let t0 = Instant::now();
@@ -68,7 +72,13 @@ fn main() {
     let window_decode = cost.decode_step_time(640);
 
     println!("\nFigure 10(a): TTFT of long-context reuse\n");
-    let header = ["context", "w/o reuse", "LMCache", "AlayaDB", "speedup vs LMCache"];
+    let header = [
+        "context",
+        "w/o reuse",
+        "LMCache",
+        "AlayaDB",
+        "speedup vs LMCache",
+    ];
     let widths = [9usize, 10, 9, 9, 18];
     print_header(&header, &widths);
 

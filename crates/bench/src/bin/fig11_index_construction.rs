@@ -15,7 +15,9 @@
 //!
 //! Run: `cargo run --release -p alaya-bench --bin fig11_index_construction [--full]`
 
-use alaya_bench::{fmt_bytes, fmt_secs, paper_cost_model, print_header, print_row, write_json, Scale};
+use alaya_bench::{
+    fmt_bytes, fmt_secs, paper_cost_model, print_header, print_row, write_json, Scale,
+};
 use alaya_index::roargraph::RoarGraphParams;
 use alaya_index::sharing::{build_shared_indexes, SharingConfig};
 use alaya_vector::rng::{gaussian_store, seeded};
@@ -51,8 +53,10 @@ fn main() {
     let n_kv = 2usize;
     let group = 4usize;
     let dim = 32usize;
-    let sizes: Vec<usize> =
-        scale.pick(vec![1000, 2000, 4000, 8000], vec![4000, 10_000, 20_000, 40_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![1000, 2000, 4000, 8000],
+        vec![4000, 10_000, 20_000, 40_000],
+    );
     let sample_ratio = 0.4; // §9.2.1
 
     println!("\nFigure 11: RoarGraph construction — time (a) and memory (b)");
@@ -64,19 +68,27 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &sizes {
         let mut rng = seeded(n as u64 ^ 0xF11);
-        let keys: Vec<VecStore> =
-            (0..n_kv).map(|_| gaussian_store(&mut rng, n, dim, 1.0)).collect();
-        let queries: Vec<VecStore> =
-            (0..n_kv * group).map(|_| gaussian_store(&mut rng, n, dim, 1.1)).collect();
+        let keys: Vec<VecStore> = (0..n_kv)
+            .map(|_| gaussian_store(&mut rng, n, dim, 1.0))
+            .collect();
+        let queries: Vec<VecStore> = (0..n_kv * group)
+            .map(|_| gaussian_store(&mut rng, n, dim, 1.1))
+            .collect();
 
-        let configs: [(&str, bool, bool); 3] =
-            [("CPU", false, false), ("GPU", true, false), ("GPU+share", true, true)];
+        let configs: [(&str, bool, bool); 3] = [
+            ("CPU", false, false),
+            ("GPU", true, false),
+            ("GPU+share", true, true),
+        ];
         let mut baseline = 0.0f64;
         for (name, gpu, share) in configs {
             let cfg = SharingConfig {
                 group_size: group,
                 sample_ratio,
-                params: RoarGraphParams { parallel_knn: false, ..Default::default() },
+                params: RoarGraphParams {
+                    parallel_knn: false,
+                    ..Default::default()
+                },
                 share,
             };
             let res = build_shared_indexes(&keys, &queries, &cfg);

@@ -49,7 +49,11 @@ fn main() {
         let rg = RoarGraph::build(&keys, &train, RoarGraphParams::default());
         let graph = rg.graph();
         let queries = gaussian_store(&mut rng, n_queries, dim, 1.0);
-        let params = DiprsParams { beta, l0: 64, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta,
+            l0: 64,
+            max_visits: usize::MAX,
+        };
         let pred = |id: u32| (id as usize) < prefix;
 
         let mut recall = 0.0f64;
@@ -58,19 +62,26 @@ fn main() {
         for qi in 0..n_queries {
             let q = queries.row(qi);
             let exact = FlatIndex.search_dipr_filtered(&keys, q, beta, pred);
-            let exact_ids: std::collections::HashSet<usize> =
-                exact.iter().map(|s| s.idx).collect();
+            let exact_ids: std::collections::HashSet<usize> = exact.iter().map(|s| s.idx).collect();
             let denom = exact_ids.len().max(1) as f64;
 
             let t0 = Instant::now();
             let got = diprs_filtered(graph, &keys, q, &params, None, pred);
             elapsed += t0.elapsed().as_secs_f64();
-            recall += got.tokens.iter().filter(|t| exact_ids.contains(&t.idx)).count() as f64
+            recall += got
+                .tokens
+                .iter()
+                .filter(|t| exact_ids.contains(&t.idx))
+                .count() as f64
                 / denom;
 
             let naive = diprs_filtered_naive(graph, &keys, q, &params, None, pred);
-            naive_recall +=
-                naive.tokens.iter().filter(|t| exact_ids.contains(&t.idx)).count() as f64 / denom;
+            naive_recall += naive
+                .tokens
+                .iter()
+                .filter(|t| exact_ids.contains(&t.idx))
+                .count() as f64
+                / denom;
         }
         recall /= n_queries as f64;
         naive_recall /= n_queries as f64;

@@ -48,8 +48,7 @@ fn main() {
     for layer in (0..n_layers).step_by(layer_step) {
         for head in 0..heads_per_layer {
             let profile = head_profile(layer, n_layers, head, ctx);
-            let (keys, q, _) =
-                synth_head(&profile, ctx, dim, (layer * 100 + head) as u64 ^ 0xF16);
+            let (keys, q, _) = synth_head(&profile, ctx, dim, (layer * 100 + head) as u64 ^ 0xF16);
             let rec = tokens_for_recovery(&keys, &q, scale_attn, 0.90);
             let dipr = FlatIndex.search_dipr(&keys, &q, beta_ip).len();
             print_row(
@@ -74,13 +73,28 @@ fn main() {
     }
 
     let n = points.len() as f64;
-    println!("\nmean recovery90 = {:.2}   mean DIPR(beta={beta_ip:.0}) = {:.2}", sum_rec / n, sum_dipr / n);
+    println!(
+        "\nmean recovery90 = {:.2}   mean DIPR(beta={beta_ip:.0}) = {:.2}",
+        sum_rec / n,
+        sum_dipr / n
+    );
     println!("(paper annotates 4592.18 vs 4648.99 at beta=110 on the real model)");
 
     // Spread statistics: the core Observation I.
-    let max = points.iter().map(|p| p.recovery90_tokens).max().unwrap_or(0);
-    let min = points.iter().map(|p| p.recovery90_tokens).min().unwrap_or(0);
-    println!("spread across heads: min {min}, max {max} ({}x)", max / min.max(1));
+    let max = points
+        .iter()
+        .map(|p| p.recovery90_tokens)
+        .max()
+        .unwrap_or(0);
+    let min = points
+        .iter()
+        .map(|p| p.recovery90_tokens)
+        .min()
+        .unwrap_or(0);
+    println!(
+        "spread across heads: min {min}, max {max} ({}x)",
+        max / min.max(1)
+    );
 
     write_json("fig5_head_variance", &points);
 }

@@ -39,7 +39,10 @@ fn main() {
     let mut points = Vec::new();
     for kind in [TaskKind::PassageRetrieval, TaskKind::Lcc] {
         let task = Task::new(kind, ctx, dim);
-        println!("\nFigure 6 ({}): accuracy vs retrieved tokens\n", kind.name());
+        println!(
+            "\nFigure 6 ({}): accuracy vs retrieved tokens\n",
+            kind.name()
+        );
         let header = ["method", "param", "mean tokens", "accuracy"];
         let widths = [8usize, 10, 12, 9];
         print_header(&header, &widths);
@@ -54,7 +57,12 @@ fn main() {
                     .collect()
             });
             print_row(
-                &["Top-k".into(), k.to_string(), format!("{mean_tokens:.1}"), format!("{acc:.1}")],
+                &[
+                    "Top-k".into(),
+                    k.to_string(),
+                    format!("{mean_tokens:.1}"),
+                    format!("{acc:.1}"),
+                ],
                 &widths,
             );
             points.push(SweepPoint {
@@ -114,7 +122,9 @@ fn summarize(points: &[SweepPoint], task: &str) {
             .filter(|p| p.task == task && p.method == method && p.accuracy >= ceiling - 1e-9)
             .map(|p| p.mean_tokens)
             .fold(f64::INFINITY, f64::min);
-        println!("{task}: tokens to reach ceiling accuracy ({ceiling:.1}) with {method}: {cheapest:.0}");
+        println!(
+            "{task}: tokens to reach ceiling accuracy ({ceiling:.1}) with {method}: {cheapest:.0}"
+        );
     }
 }
 
@@ -143,6 +153,8 @@ fn sweep(
             correct += 1;
         }
     }
-    (100.0 * correct as f64 / instances as f64, tokens as f64 / instances as f64)
+    (
+        100.0 * correct as f64 / instances as f64,
+        tokens as f64 / instances as f64,
+    )
 }
-

@@ -57,9 +57,15 @@ fn main() {
                 n_select_blocks: (cached / 64).max(1),
                 gpu_cache_tokens: cached,
             };
-            let stream = StreamingLlm { window: WindowSpec::new(16, cached.max(16)) };
-            let scores =
-                evaluate_engines(&[&infllm as &dyn SparseAttention, &stream], &task, instances, 0xF19);
+            let stream = StreamingLlm {
+                window: WindowSpec::new(16, cached.max(16)),
+            };
+            let scores = evaluate_engines(
+                &[&infllm as &dyn SparseAttention, &stream],
+                &task,
+                instances,
+                0xF19,
+            );
 
             // Memory at paper scale: same *fractions* of the paper context.
             let paper_cached = (paper_ctx as f64 * frac) as usize;
@@ -71,8 +77,10 @@ fn main() {
                 }
                 .gpu_bytes(paper_ctx, kv_per_token);
             let stream_mem = weights
-                + StreamingLlm { window: WindowSpec::new(128, paper_cached.max(128)) }
-                    .gpu_bytes(paper_ctx, kv_per_token);
+                + StreamingLlm {
+                    window: WindowSpec::new(128, paper_cached.max(128)),
+                }
+                .gpu_bytes(paper_ctx, kv_per_token);
 
             for (s, mem) in scores.iter().zip([infllm_mem, stream_mem]) {
                 print_row(
@@ -94,20 +102,41 @@ fn main() {
         }
 
         // Fixed-memory methods: Top-100 and DIPRS (window-only residency).
-        let top100 = TopKRetrieval { window: WindowSpec::new(16, 64), k: 100, ef: 200 };
+        let top100 = TopKRetrieval {
+            window: WindowSpec::new(16, 64),
+            k: 100,
+            ef: 200,
+        };
         let diprs = DiprsAttention {
             window: WindowSpec::new(16, 64),
-            params: DiprsParams { beta: 4.0 * sqrt_d, l0: 64, max_visits: usize::MAX },
+            params: DiprsParams {
+                beta: 4.0 * sqrt_d,
+                l0: 64,
+                max_visits: usize::MAX,
+            },
             window_seeding: true,
         };
-        let scores =
-            evaluate_engines(&[&top100 as &dyn SparseAttention, &diprs], &task, instances, 0xF19);
+        let scores = evaluate_engines(
+            &[&top100 as &dyn SparseAttention, &diprs],
+            &task,
+            instances,
+            0xF19,
+        );
         let fixed_mem = weights
-            + TopKRetrieval { window: WindowSpec::new(128, 512), k: 100, ef: 200 }
-                .gpu_bytes(paper_ctx, kv_per_token);
+            + TopKRetrieval {
+                window: WindowSpec::new(128, 512),
+                k: 100,
+                ef: 200,
+            }
+            .gpu_bytes(paper_ctx, kv_per_token);
         for s in &scores {
             print_row(
-                &[s.engine.clone(), "-".into(), fmt_bytes(fixed_mem), format!("{:.1}", s.accuracy)],
+                &[
+                    s.engine.clone(),
+                    "-".into(),
+                    fmt_bytes(fixed_mem),
+                    format!("{:.1}", s.accuracy),
+                ],
                 &widths,
             );
             points.push(MemPoint {

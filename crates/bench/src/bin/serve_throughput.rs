@@ -31,9 +31,20 @@ struct Cell {
     engine_seconds: f64,
     baseline_seconds: f64,
     speedup: f64,
+    requests_per_sec: f64,
+    p50_latency_ns: f64,
+    p99_latency_ns: f64,
     scheduler_batches: u64,
     scheduler_requests: u64,
     shared_plan_requests: u64,
+}
+
+/// Percentile over raw per-request attention latencies (ns).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize] as f64
 }
 
 #[derive(Serialize)]
@@ -106,38 +117,53 @@ fn gen_inputs(model: &ModelConfig, steps: usize, seed: u64) -> StepInputs {
 
 fn main() {
     let scale = Scale::from_args();
+    let quick_env = std::env::var_os("ALAYA_BENCH_QUICK").is_some();
     let model = model();
-    let context_len = scale.pick(1024, 16_384);
-    let steps = scale.pick(16, 64);
-    let host_cores =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let context_len = if quick_env {
+        256
+    } else {
+        scale.pick(1024, 16_384)
+    };
+    let steps = if quick_env { 4 } else { scale.pick(16, 64) };
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let db = build_db(&model, context_len);
 
     let mut prompt: Vec<u32> = (0..context_len as u32).collect();
     prompt.extend([700 % 264, 701 % 264]);
 
-    let session_counts = [1usize, 2, 4, 8];
-    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t == 1 || t <= 2 * host_cores)
-        .collect();
+    let session_counts: &[usize] = if quick_env { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_counts: Vec<usize> = if quick_env {
+        vec![1, 2]
+    } else {
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&t| t == 1 || t <= 2 * host_cores)
+            .collect()
+    };
 
     println!(
         "serve_throughput: context={context_len} tokens, {steps} steps/session, host cores={host_cores}"
     );
-    let widths = [8, 7, 10, 10, 8, 8, 7];
+    let widths = [8, 7, 10, 10, 8, 9, 9, 8, 7];
     print_header(
-        &["sessions", "threads", "engine", "baseline", "speedup", "batches", "shared"],
+        &[
+            "sessions", "threads", "engine", "baseline", "speedup", "p50", "p99", "batches",
+            "shared",
+        ],
         &widths,
     );
 
     let mut cells = Vec::new();
-    for &sessions in &session_counts {
+    for &sessions in session_counts {
         // Serialized baseline: one thread, plain sessions, sequential heads.
-        let inputs: Vec<StepInputs> =
-            (0..sessions).map(|s| gen_inputs(&model, steps, 100 + s as u64)).collect();
-        let mut base_sessions: Vec<_> =
-            (0..sessions).map(|_| db.create_session(&prompt).0).collect();
+        let inputs: Vec<StepInputs> = (0..sessions)
+            .map(|s| gen_inputs(&model, steps, 100 + s as u64))
+            .collect();
+        let mut base_sessions: Vec<_> = (0..sessions)
+            .map(|_| db.create_session(&prompt).0)
+            .collect();
         let t0 = Instant::now();
         for (sess, inp) in base_sessions.iter_mut().zip(&inputs) {
             for step in inp {
@@ -153,28 +179,42 @@ fn main() {
         for &threads in &thread_counts {
             let engine = ServeEngine::with_options(
                 Arc::clone(&db),
-                ServeOptions { threads, ..Default::default() },
+                ServeOptions {
+                    threads,
+                    ..Default::default()
+                },
             );
             let ids: Vec<_> = (0..sessions)
                 .map(|_| engine.admit(&prompt).expect("admission").0)
                 .collect();
             let t0 = Instant::now();
-            std::thread::scope(|s| {
-                for (sid, inp) in ids.iter().zip(&inputs) {
-                    let engine = &engine;
-                    s.spawn(move || {
-                        for step in inp {
-                            for (layer, (q, k, v)) in step.iter().enumerate() {
-                                engine.update(*sid, q, k, v, layer).unwrap();
-                                std::hint::black_box(
-                                    engine.attention(*sid, q, layer).unwrap(),
-                                );
+            let mut latencies: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = ids
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(sid, inp)| {
+                        let engine = &engine;
+                        s.spawn(move || {
+                            let mut lat = Vec::with_capacity(inp.len() * inp[0].len());
+                            for step in inp {
+                                for (layer, (q, k, v)) in step.iter().enumerate() {
+                                    engine.update(*sid, q, k, v, layer).unwrap();
+                                    let r0 = Instant::now();
+                                    std::hint::black_box(engine.attention(*sid, q, layer).unwrap());
+                                    lat.push(r0.elapsed().as_nanos() as u64);
+                                }
                             }
-                        }
-                    });
-                }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
             });
             let engine_seconds = t0.elapsed().as_secs_f64();
+            latencies.sort_unstable();
             let stats = engine.stats();
             let cell = Cell {
                 sessions,
@@ -183,6 +223,9 @@ fn main() {
                 engine_seconds,
                 baseline_seconds,
                 speedup: baseline_seconds / engine_seconds,
+                requests_per_sec: latencies.len() as f64 / engine_seconds,
+                p50_latency_ns: percentile(&latencies, 0.50),
+                p99_latency_ns: percentile(&latencies, 0.99),
                 scheduler_batches: stats.batches,
                 scheduler_requests: stats.requests,
                 shared_plan_requests: stats.shared_plan_requests,
@@ -194,6 +237,8 @@ fn main() {
                     fmt_secs(cell.engine_seconds),
                     fmt_secs(cell.baseline_seconds),
                     format!("{:.2}x", cell.speedup),
+                    fmt_secs(cell.p50_latency_ns / 1e9),
+                    fmt_secs(cell.p99_latency_ns / 1e9),
                     cell.scheduler_batches.to_string(),
                     cell.shared_plan_requests.to_string(),
                 ],
@@ -203,5 +248,12 @@ fn main() {
         }
     }
 
-    write_json("serving_throughput", &Record { host_cores, context_len, cells });
+    write_json(
+        "BENCH_serving",
+        &Record {
+            host_cores,
+            context_len,
+            cells,
+        },
+    );
 }

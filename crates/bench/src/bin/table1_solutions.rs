@@ -8,9 +8,7 @@
 //!
 //! Run: `cargo run --release -p alaya-bench --bin table1_solutions`
 
-use alaya_attention::{
-    DiprsAttention, FullAttention, SparseAttention, TopKRetrieval, WindowSpec,
-};
+use alaya_attention::{DiprsAttention, FullAttention, SparseAttention, TopKRetrieval, WindowSpec};
 use alaya_bench::{
     fmt_bytes, fmt_secs, modeled_tpot, paper_cost_model, print_header, print_row, write_json,
     TpotInputs,
@@ -42,10 +40,18 @@ fn main() {
     let sqrt_d = (dim as f32).sqrt();
     let w = WindowSpec::new(16, 64);
     let full = FullAttention;
-    let topk = TopKRetrieval { window: w, k: 100, ef: 200 };
+    let topk = TopKRetrieval {
+        window: w,
+        k: 100,
+        ef: 200,
+    };
     let diprs = DiprsAttention {
         window: w,
-        params: DiprsParams { beta: 4.0 * sqrt_d, l0: 64, max_visits: usize::MAX },
+        params: DiprsParams {
+            beta: 4.0 * sqrt_d,
+            l0: 64,
+            max_visits: usize::MAX,
+        },
         window_seeding: true,
     };
     let engines: [&dyn SparseAttention; 3] = [&full, &topk, &diprs];
@@ -68,7 +74,11 @@ fn main() {
             gpu_memory_bytes: full_mem,
             ttft_s: cost.prefill_time(paper_ctx),
             tpot_s: modeled_tpot(
-                &TpotInputs { gpu_tokens: paper_ctx, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+                &TpotInputs {
+                    gpu_tokens: paper_ctx,
+                    cpu_scored_per_head: 0,
+                    cpu_attended_per_head: 0,
+                },
                 &cost,
             ),
             quality_avg: quality[0],
@@ -78,7 +88,11 @@ fn main() {
             gpu_memory_bytes: full_mem,
             ttft_s: cost.kv_load_time(paper_ctx) + cost.decode_step_time(paper_ctx),
             tpot_s: modeled_tpot(
-                &TpotInputs { gpu_tokens: paper_ctx, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+                &TpotInputs {
+                    gpu_tokens: paper_ctx,
+                    cpu_scored_per_head: 0,
+                    cpu_attended_per_head: 0,
+                },
                 &cost,
             ),
             quality_avg: quality[0],
@@ -88,7 +102,11 @@ fn main() {
             gpu_memory_bytes: sparse_mem,
             ttft_s: cost.decode_step_time(640) + 0.05, // retrieval-dominated
             tpot_s: modeled_tpot(
-                &TpotInputs { gpu_tokens: 640, cpu_scored_per_head: 1000, cpu_attended_per_head: 100 },
+                &TpotInputs {
+                    gpu_tokens: 640,
+                    cpu_scored_per_head: 1000,
+                    cpu_attended_per_head: 100,
+                },
                 &cost,
             ),
             quality_avg: quality[1],
@@ -98,7 +116,11 @@ fn main() {
             gpu_memory_bytes: sparse_mem,
             ttft_s: cost.decode_step_time(640) + 0.03,
             tpot_s: modeled_tpot(
-                &TpotInputs { gpu_tokens: 640, cpu_scored_per_head: 1000, cpu_attended_per_head: 100 },
+                &TpotInputs {
+                    gpu_tokens: 640,
+                    cpu_scored_per_head: 1000,
+                    cpu_attended_per_head: 100,
+                },
                 &cost,
             ),
             quality_avg: quality[2],

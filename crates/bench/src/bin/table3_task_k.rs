@@ -30,8 +30,9 @@ fn main() {
     let attn_scale = 1.0 / (dim as f32).sqrt();
     let window = WindowSpec::new(16, 32);
 
-    let sweep_ks =
-        [10usize, 20, 35, 50, 65, 100, 150, 200, 250, 350, 500, 700, 1000, 1500, 2200];
+    let sweep_ks = [
+        10usize, 20, 35, 50, 65, 100, 150, 200, 250, 350, 500, 700, 1000, 1500, 2200,
+    ];
 
     println!("\nTable 3: required k per task (ctx={ctx}, {instances} instances)\n");
     let header = ["Task", "k", "proportion", "full-attn acc", "paper k"];
@@ -104,6 +105,9 @@ fn main() {
 
     let min = rows.iter().map(|r| r.required_k).min().unwrap_or(0);
     let max = rows.iter().map(|r| r.required_k).max().unwrap_or(0);
-    println!("\nrequired k spans {min}..{max} ({}x) — no single static k fits (Observation II)", max / min.max(1));
+    println!(
+        "\nrequired k spans {min}..{max} ({}x) — no single static k fits (Observation II)",
+        max / min.max(1)
+    );
     write_json("table3_task_k", &rows);
 }

@@ -11,8 +11,7 @@
 //! Run: `cargo run --release -p alaya-bench --bin table5_quality [--full]`
 
 use alaya_attention::{
-    DiprsAttention, FullAttention, InfLlm, SparseAttention, StreamingLlm, TopKRetrieval,
-    WindowSpec,
+    DiprsAttention, FullAttention, InfLlm, SparseAttention, StreamingLlm, TopKRetrieval, WindowSpec,
 };
 use alaya_bench::{
     fmt_secs, modeled_tpot, paper_cost_model, print_header, print_row, write_json, Scale,
@@ -47,13 +46,29 @@ fn main() {
     let w_infllm = WindowSpec::new(16, 128); // paper [128+4K]
     let w_stream = WindowSpec::new(16, 256); // paper [128]+8K
 
-    let infllm = InfLlm { window: w_infllm, n_select_blocks: 2, gpu_cache_tokens: ctx / 4 };
+    let infllm = InfLlm {
+        window: w_infllm,
+        n_select_blocks: 2,
+        gpu_cache_tokens: ctx / 4,
+    };
     let streaming = StreamingLlm { window: w_stream };
-    let top100 = TopKRetrieval { window: w_small, k: 100, ef: 200 };
-    let top2000 = TopKRetrieval { window: w_small, k: 2000, ef: 2400 };
+    let top100 = TopKRetrieval {
+        window: w_small,
+        k: 100,
+        ef: 200,
+    };
+    let top2000 = TopKRetrieval {
+        window: w_small,
+        k: 2000,
+        ef: 2400,
+    };
     let diprs = DiprsAttention {
         window: w_small,
-        params: DiprsParams { beta: 4.0 * sqrt_d, l0: 128, max_visits: usize::MAX },
+        params: DiprsParams {
+            beta: 4.0 * sqrt_d,
+            l0: 128,
+            max_visits: usize::MAX,
+        },
         window_seeding: true,
     };
 
@@ -67,12 +82,13 @@ fn main() {
     ];
     let engine_refs: Vec<&dyn SparseAttention> = engines.iter().map(|(e, _)| *e).collect();
 
-    let tasks: Vec<Task> =
-        TaskKind::infinite_bench().iter().map(|&k| Task::new(k, ctx, dim)).collect();
+    let tasks: Vec<Task> = TaskKind::infinite_bench()
+        .iter()
+        .map(|&k| Task::new(k, ctx, dim))
+        .collect();
 
     // Evaluate everything.
-    let mut per_engine: Vec<Vec<alaya_workloads::EngineScore>> =
-        vec![Vec::new(); engines.len()];
+    let mut per_engine: Vec<Vec<alaya_workloads::EngineScore>> = vec![Vec::new(); engines.len()];
     for task in &tasks {
         eprintln!("[task {} ...]", task.kind.name());
         let scores = evaluate_engines(&engine_refs, task, instances, 0xA11A);
@@ -90,17 +106,21 @@ fn main() {
     let paper_ctx = 192_600usize;
     let tpot_inputs = |name: &str, mean_retrieved: f64| -> TpotInputs {
         match name {
-            n if n.starts_with("Full") => {
-                TpotInputs { gpu_tokens: paper_ctx, cpu_scored_per_head: 0, cpu_attended_per_head: 0 }
-            }
+            n if n.starts_with("Full") => TpotInputs {
+                gpu_tokens: paper_ctx,
+                cpu_scored_per_head: 0,
+                cpu_attended_per_head: 0,
+            },
             n if n.starts_with("InfLLM") => TpotInputs {
                 gpu_tokens: 128 + 4096 + 4096,
                 cpu_scored_per_head: 0,
                 cpu_attended_per_head: 0,
             },
-            n if n.starts_with("StreamingLLM") => {
-                TpotInputs { gpu_tokens: 128 + 8192, cpu_scored_per_head: 0, cpu_attended_per_head: 0 }
-            }
+            n if n.starts_with("StreamingLLM") => TpotInputs {
+                gpu_tokens: 128 + 8192,
+                cpu_scored_per_head: 0,
+                cpu_attended_per_head: 0,
+            },
             n if n.starts_with("Top") => {
                 let k: usize = n.trim_start_matches("Top").parse().unwrap_or(100);
                 TpotInputs {
@@ -113,7 +133,11 @@ fn main() {
             _ => {
                 // DIPRS: retrieved count is dynamic; use the measured mean.
                 let k = mean_retrieved.max(0.0) as usize;
-                TpotInputs { gpu_tokens: 640, cpu_scored_per_head: k * 10, cpu_attended_per_head: k }
+                TpotInputs {
+                    gpu_tokens: 640,
+                    cpu_scored_per_head: k * 10,
+                    cpu_attended_per_head: k,
+                }
             }
         }
     };
@@ -123,8 +147,11 @@ fn main() {
     let mut header = vec!["Method", "Setting", "SLO"];
     header.extend(task_names.iter());
     header.push("Avg.");
-    let widths: Vec<usize> =
-        header.iter().enumerate().map(|(i, h)| h.len().max(if i < 2 { 24 } else { 7 })).collect();
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| h.len().max(if i < 2 { 24 } else { 7 }))
+        .collect();
     println!("\nTable 5: generation quality on the InfiniteBench-analogue suite (ctx={ctx}, {instances} instances/task)\n");
     print_header(&header, &widths);
 
@@ -152,14 +179,19 @@ fn main() {
             setting: setting.to_string(),
             slo_ok: ok,
             tpot_modeled_s: tpot,
-            scores: scores.iter().map(|s| (s.task.clone(), s.accuracy)).collect(),
+            scores: scores
+                .iter()
+                .map(|s| (s.task.clone(), s.accuracy))
+                .collect(),
             average: avg,
             mean_cpu_latency_s: scores.iter().map(|s| s.mean_latency_s).sum::<f64>()
                 / scores.len() as f64,
         });
     }
 
-    println!("\nSLO: modeled TPOT at paper scale (L20, Llama-3-8B, worst task ~192.6K ctx) <= 0.24s");
+    println!(
+        "\nSLO: modeled TPOT at paper scale (L20, Llama-3-8B, worst task ~192.6K ctx) <= 0.24s"
+    );
     for r in &rows {
         println!("  {:<24} TPOT ~ {}", r.method, fmt_secs(r.tpot_modeled_s));
     }
@@ -167,5 +199,9 @@ fn main() {
 }
 
 fn slo_marker(ok: bool) -> String {
-    if ok { "yes".into() } else { "NO".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }

@@ -73,16 +73,30 @@ mod tests {
     fn full_attention_violates_slo_on_long_contexts() {
         // Full attention over the longest ∞-Bench task (~192.6K tokens).
         let t = modeled_tpot(
-            &TpotInputs { gpu_tokens: 192_600, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &TpotInputs {
+                gpu_tokens: 192_600,
+                cpu_scored_per_head: 0,
+                cpu_attended_per_head: 0,
+            },
             &cost(),
         );
-        assert!(!Slo::reading_speed().check(0.0, t).satisfied(), "full attention TPOT {t}");
+        assert!(
+            !Slo::reading_speed().check(0.0, t).satisfied(),
+            "full attention TPOT {t}"
+        );
         // ...but is comfortable at 40K.
         let t40 = modeled_tpot(
-            &TpotInputs { gpu_tokens: 40_000, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &TpotInputs {
+                gpu_tokens: 40_000,
+                cpu_scored_per_head: 0,
+                cpu_attended_per_head: 0,
+            },
             &cost(),
         );
-        assert!(Slo::reading_speed().check(0.0, t40).satisfied(), "40K TPOT {t40}");
+        assert!(
+            Slo::reading_speed().check(0.0, t40).satisfied(),
+            "40K TPOT {t40}"
+        );
     }
 
     #[test]
@@ -105,14 +119,21 @@ mod tests {
             &cost(),
         );
         let slo = Slo::reading_speed();
-        assert!(!slo.check(0.0, top2000).satisfied(), "top2000 TPOT {top2000}");
+        assert!(
+            !slo.check(0.0, top2000).satisfied(),
+            "top2000 TPOT {top2000}"
+        );
         assert!(slo.check(0.0, top100).satisfied(), "top100 TPOT {top100}");
     }
 
     #[test]
     fn window_only_methods_comfortably_pass() {
         let stream = modeled_tpot(
-            &TpotInputs { gpu_tokens: 8_320, cpu_scored_per_head: 0, cpu_attended_per_head: 0 },
+            &TpotInputs {
+                gpu_tokens: 8_320,
+                cpu_scored_per_head: 0,
+                cpu_attended_per_head: 0,
+            },
             &cost(),
         );
         assert!(stream < 0.1, "streaming TPOT {stream}");
@@ -121,13 +142,25 @@ mod tests {
     #[test]
     fn monotone_in_every_input() {
         let c = cost();
-        let base =
-            TpotInputs { gpu_tokens: 1000, cpu_scored_per_head: 1000, cpu_attended_per_head: 100 };
+        let base = TpotInputs {
+            gpu_tokens: 1000,
+            cpu_scored_per_head: 1000,
+            cpu_attended_per_head: 100,
+        };
         let t0 = modeled_tpot(&base, &c);
         for delta in [
-            TpotInputs { gpu_tokens: 2000, ..base },
-            TpotInputs { cpu_scored_per_head: 2000, ..base },
-            TpotInputs { cpu_attended_per_head: 500, ..base },
+            TpotInputs {
+                gpu_tokens: 2000,
+                ..base
+            },
+            TpotInputs {
+                cpu_scored_per_head: 2000,
+                ..base
+            },
+            TpotInputs {
+                cpu_attended_per_head: 500,
+                ..base
+            },
         ] {
             assert!(modeled_tpot(&delta, &c) > t0);
         }

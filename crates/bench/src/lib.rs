@@ -64,7 +64,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
     println!("{}", "-".repeat(total));
 }
@@ -78,7 +81,11 @@ pub fn write_json<T: Serialize>(experiment: &str, value: &T) {
     }
     let path = dir.join(format!("{experiment}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(serde_json::to_string_pretty(value).unwrap_or_default().as_bytes());
+        let _ = f.write_all(
+            serde_json::to_string_pretty(value)
+                .unwrap_or_default()
+                .as_bytes(),
+        );
         eprintln!("[wrote {}]", path.display());
     }
 }

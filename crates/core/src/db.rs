@@ -1,8 +1,9 @@
 //! The `DB` abstraction: the manager of all stored contexts (Table 2).
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use alaya_device::memory::MemoryTracker;
 use alaya_llm::kv::KvCache;
@@ -28,7 +29,11 @@ struct ContextTable {
 impl ContextTable {
     fn insert(&mut self, ctx: Arc<StoredContext>) {
         let prev = self.by_id.insert(ctx.id, self.order.len());
-        debug_assert!(prev.is_none(), "duplicate ContextId {:?} in ContextTable", ctx.id);
+        debug_assert!(
+            prev.is_none(),
+            "duplicate ContextId {:?} in ContextTable",
+            ctx.id
+        );
         self.order.push(ctx);
     }
 
@@ -49,7 +54,11 @@ impl Db {
     /// Opens an empty database.
     pub fn new(cfg: DbConfig) -> Self {
         cfg.model.validate();
-        Self { cfg, contexts: RwLock::new(ContextTable::default()), next_id: AtomicU64::new(0) }
+        Self {
+            cfg,
+            contexts: RwLock::new(ContextTable::default()),
+            next_id: AtomicU64::new(0),
+        }
     }
 
     /// The database configuration.
@@ -176,39 +185,180 @@ impl Db {
     /// Panics if the session's noted tokens do not cover its full sequence
     /// (call [`Session::note_tokens`] during generation).
     pub fn store(&self, session: &Session) -> ContextId {
-        let total = session.total_len();
-        // The final generated token is sampled but not yet forward-passed,
-        // so its KV does not exist; tolerate exactly that off-by-one.
-        assert!(
-            session.tokens().len() == total || session.tokens().len() == total + 1,
-            "session knows {} tokens but holds {} positions; call note_tokens()",
-            session.tokens().len(),
-            total
+        let total = validate_store_coverage(session);
+        let kv = merge_session_kv(
+            &self.cfg,
+            session.base(),
+            session.reused_len(),
+            session.local_kv(),
         );
-
-        // Merge prefix KV + local KV into one cache.
-        let model = &self.cfg.model;
-        let mut kv = match session.base() {
-            Some(base) => base.kv.prefix(session.reused_len()),
-            None => KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim),
-        };
-        let local = session.local_kv();
-        for layer in 0..model.n_layers {
-            debug_assert_eq!(local.seq_len(layer), session.local_len());
-            for kvh in 0..model.n_kv_heads {
-                let src = local.head(layer, kvh);
-                let dst = kv.head_mut(layer, kvh);
-                for j in 0..src.len() {
-                    dst.push(src.keys.row(j), src.values.row(j));
-                }
-            }
-        }
-
         self.import_with_queries(
             session.tokens()[..total].to_vec(),
             kv,
             Some(session.query_samples()),
         )
+    }
+
+    /// Copy-on-write [`Db::store`]: snapshots the session's state (cheap —
+    /// the reused prefix is shared by `Arc`, only the local window and
+    /// query samples are cloned), then runs the KV merge and index build on
+    /// the shared [`alaya_device::pool`] and publishes the finished context
+    /// atomically through the context table. Readers ([`Db::context`],
+    /// [`Db::create_session`]) keep serving existing contexts throughout:
+    /// the new context is either entirely absent or entirely built, never
+    /// partial — so a huge `store()` cannot stall co-batched tenants.
+    ///
+    /// The returned [`StoreHandle`] carries the reserved [`ContextId`] up
+    /// front; [`StoreHandle::wait`] blocks until the context is published
+    /// (or the build failed).
+    ///
+    /// # Panics
+    /// Panics (synchronously) under the same conditions as [`Db::store`].
+    pub fn store_background(self: &Arc<Self>, session: &Session) -> StoreHandle {
+        let total = validate_store_coverage(session);
+
+        // Snapshot while the caller still holds whatever session lock it
+        // serializes on; everything below is O(local window), not O(context).
+        let tokens = session.tokens()[..total].to_vec();
+        let base = session.base().cloned();
+        let reused_len = session.reused_len();
+        let local = session.local_kv().clone();
+        let queries = session.query_samples().clone();
+
+        // Reserve the id like `import` does, so concurrent `adopt` cannot
+        // claim it while the build runs outside the lock.
+        let id = {
+            let mut contexts = self.contexts.write();
+            let id = ContextId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            contexts.reserved.insert(id);
+            id
+        };
+
+        let shared = Arc::new(StoreShared {
+            state: Mutex::new(StoreState::Pending),
+            cv: Condvar::new(),
+        });
+        let db = Arc::clone(self);
+        let task_shared = Arc::clone(&shared);
+        alaya_device::pool::global().execute(move || {
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                let kv = merge_session_kv(&db.cfg, base.as_ref(), reused_len, &local);
+                StoredContext::build(id, tokens, kv, Some(&queries), &db.cfg)
+            }));
+            // Publish (or abandon) and un-reserve under one write-lock
+            // hold: the context becomes visible in the same atomic step
+            // that releases the reservation.
+            let state = {
+                let mut contexts = db.contexts.write();
+                contexts.reserved.remove(&id);
+                match built {
+                    Ok(ctx) => {
+                        contexts.insert(Arc::new(ctx));
+                        StoreState::Ready
+                    }
+                    Err(payload) => StoreState::Failed(panic_message(payload.as_ref())),
+                }
+            };
+            *task_shared.state.lock().unwrap() = state;
+            task_shared.cv.notify_all();
+        });
+
+        StoreHandle { id, shared }
+    }
+}
+
+/// Checks that a session's noted tokens cover its KV positions, returning
+/// the storable length. The final generated token is sampled but not yet
+/// forward-passed, so its KV does not exist; tolerate exactly that
+/// off-by-one.
+fn validate_store_coverage(session: &Session) -> usize {
+    let total = session.total_len();
+    assert!(
+        session.tokens().len() == total || session.tokens().len() == total + 1,
+        "session knows {} tokens but holds {} positions; call note_tokens()",
+        session.tokens().len(),
+        total
+    );
+    total
+}
+
+/// Merges a session's reused-prefix KV with its local window into one cache
+/// — the copy half of `DB.store` (the index build is the other).
+fn merge_session_kv(
+    cfg: &DbConfig,
+    base: Option<&Arc<StoredContext>>,
+    reused_len: usize,
+    local: &KvCache,
+) -> KvCache {
+    let model = &cfg.model;
+    let mut kv = match base {
+        Some(base) => base.kv.prefix(reused_len),
+        None => KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim),
+    };
+    for layer in 0..model.n_layers {
+        for kvh in 0..model.n_kv_heads {
+            let src = local.head(layer, kvh);
+            let dst = kv.head_mut(layer, kvh);
+            for j in 0..src.len() {
+                dst.push(src.keys.row(j), src.values.row(j));
+            }
+        }
+    }
+    kv
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "store task panicked".to_string()
+    }
+}
+
+/// Completion state of one background store.
+enum StoreState {
+    Pending,
+    Ready,
+    Failed(String),
+}
+
+struct StoreShared {
+    state: Mutex<StoreState>,
+    cv: Condvar,
+}
+
+/// Handle to an in-flight [`Db::store_background`] build.
+pub struct StoreHandle {
+    id: ContextId,
+    shared: Arc<StoreShared>,
+}
+
+impl StoreHandle {
+    /// The id the finished context will be published under. Until
+    /// [`StoreHandle::wait`] returns (or [`Db::context`] starts answering
+    /// for it), the id resolves to nothing.
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// Whether the build has finished (successfully or not) — never blocks.
+    pub fn is_finished(&self) -> bool {
+        !matches!(*self.shared.state.lock().unwrap(), StoreState::Pending)
+    }
+
+    /// Blocks until the context is published; returns its id, or the build
+    /// panic's message.
+    pub fn wait(&self) -> Result<ContextId, String> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            match &*state {
+                StoreState::Pending => state = self.shared.cv.wait(state).unwrap(),
+                StoreState::Ready => return Ok(self.id),
+                StoreState::Failed(msg) => return Err(msg.clone()),
+            }
+        }
     }
 }
 
@@ -318,5 +468,33 @@ mod tests {
         let (s2, trunc2) = db.create_session(&prompt);
         assert_eq!(s2.reused_len(), 49);
         assert_eq!(trunc2.len(), 1);
+    }
+
+    #[test]
+    fn store_background_matches_sync_store() {
+        let (db, model) = db();
+        let db = Arc::new(db);
+        let prompt: Vec<u32> = (30..80).collect();
+        let (mut session, truncated) = db.create_session(&prompt);
+        session.note_tokens(&truncated);
+        let logits = model.prefill(&truncated, 0, &mut session);
+        let generated = model.decode(logits, truncated.len(), 4, &mut session);
+        session.note_tokens(&generated);
+
+        let sync_id = db.store(&session);
+        let handle = db.store_background(&session);
+        assert_eq!(handle.wait(), Ok(handle.id()));
+        assert!(handle.is_finished());
+        assert_ne!(handle.id(), sync_id);
+
+        // Identical snapshot → identical published context (modulo id).
+        let a = db.context(sync_id).unwrap();
+        let b = db.context(handle.id()).unwrap();
+        assert_eq!(a.tokens, b.tokens);
+        let (ka, kb) = (a.kv.head(0, 0), b.kv.head(0, 0));
+        assert_eq!(ka.keys.as_flat(), kb.keys.as_flat());
+        assert_eq!(ka.values.as_flat(), kb.values.as_flat());
+        assert_eq!(a.graph_bytes(), b.graph_bytes());
+        assert_eq!(db.n_contexts(), 2);
     }
 }

@@ -158,8 +158,7 @@ mod tests {
     use alaya_llm::{FullKvBackend, Model, ModelConfig};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("alaya-persist-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("alaya-persist-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -167,7 +166,13 @@ mod tests {
     fn build_context(model: &Model, cfg: &DbConfig, tokens: &[u32]) -> StoredContext {
         let mut backend = FullKvBackend::new(model.config());
         model.prefill(tokens, 0, &mut backend);
-        StoredContext::build(ContextId(7), tokens.to_vec(), backend.into_cache(), None, cfg)
+        StoredContext::build(
+            ContextId(7),
+            tokens.to_vec(),
+            backend.into_cache(),
+            None,
+            cfg,
+        )
     }
 
     #[test]
@@ -231,7 +236,10 @@ mod tests {
         let mut reference = FullKvBackend::new(&model_cfg);
         let want = model.prefill(&prompt, 0, &mut reference);
         for (a, b) in want.iter().zip(&got) {
-            assert!((a - b).abs() < 1e-4, "persisted context changed the model's output");
+            assert!(
+                (a - b).abs() < 1e-4,
+                "persisted context changed the model's output"
+            );
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -38,11 +38,7 @@ pub struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(
-        cfg: DbConfig,
-        base: Option<Arc<StoredContext>>,
-        reused_len: usize,
-    ) -> Self {
+    pub(crate) fn new(cfg: DbConfig, base: Option<Arc<StoredContext>>, reused_len: usize) -> Self {
         let model = &cfg.model;
         let local = KvCache::new(model.n_layers, model.n_kv_heads, model.head_dim);
         let tokens = base
@@ -56,7 +52,16 @@ impl Session {
             cfg.max_query_samples,
         );
         let optimizer = Optimizer::new(cfg.optimizer.clone());
-        Self { cfg, optimizer, base, reused_len, local, tokens, queries, plan_log: Vec::new() }
+        Self {
+            cfg,
+            optimizer,
+            base,
+            reused_len,
+            local,
+            tokens,
+            queries,
+            plan_log: Vec::new(),
+        }
     }
 
     /// The reused stored context, if any.
@@ -176,7 +181,12 @@ impl Session {
     /// Records `plan` in the plan log (deduplicating consecutive repeats) —
     /// the logging half of what [`Session::attention`] does implicitly.
     pub fn note_plan(&mut self, plan: &Plan) {
-        if self.plan_log.last().map(|p| p != &plan.explain()).unwrap_or(true) {
+        if self
+            .plan_log
+            .last()
+            .map(|p| p != &plan.explain())
+            .unwrap_or(true)
+        {
             self.plan_log.push(plan.explain());
         }
     }
@@ -226,20 +236,15 @@ impl Session {
                 .map(|(qh, q)| self.attend_query_head(q, qh, layer, plan))
                 .collect();
         }
-        alaya_device::pool::global()
-            .map(queries.len(), |qh| self.attend_query_head(&queries[qh], qh, layer, plan))
+        alaya_device::pool::global().map(queries.len(), |qh| {
+            self.attend_query_head(&queries[qh], qh, layer, plan)
+        })
     }
 
     /// One query head's attention under a pre-computed `plan` (`qh` is the
     /// query-head index; the KV head is derived via the GQA group size).
     /// This is the granularity the serving scheduler fans out over.
-    pub fn attend_query_head(
-        &self,
-        q: &[f32],
-        qh: usize,
-        layer: usize,
-        plan: &Plan,
-    ) -> Vec<f32> {
+    pub fn attend_query_head(&self, q: &[f32], qh: usize, layer: usize, plan: &Plan) -> Vec<f32> {
         self.attend_head(q, qh / self.cfg.model.gqa_group_size(), layer, plan)
     }
 
@@ -258,16 +263,24 @@ impl Session {
         match plan {
             Plan::FullAttention { .. } => {
                 if let Some(kv) = stored_kv {
-                    for id in 0..n_stored {
-                        acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
-                    }
+                    push_range(&mut acc, q, &kv.keys, &kv.values, scale, 0, n_stored);
                 }
-                for j in 0..n_local {
-                    acc.push(local_kv.keys.dot_row(q, j) * scale, local_kv.values.row(j));
-                }
+                push_range(
+                    &mut acc,
+                    q,
+                    &local_kv.keys,
+                    &local_kv.values,
+                    scale,
+                    0,
+                    n_local,
+                );
                 acc.output()
             }
-            Plan::Sparse { query, index, filter } => {
+            Plan::Sparse {
+                query,
+                index,
+                filter,
+            } => {
                 let window = self.cfg.window;
 
                 // Partition 1 ("GPU"): cached window over the combined
@@ -275,25 +288,35 @@ impl Session {
                 // partition 2 in full).
                 let mut in_window = vec![false; n_stored];
                 if let Some(kv) = stored_kv {
-                    for id in window.token_ids(n) {
-                        let id = id as usize;
-                        if id < n_stored {
-                            in_window[id] = true;
-                            acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
-                        }
+                    let wids: Vec<u32> = window
+                        .token_ids(n)
+                        .filter(|&id| (id as usize) < n_stored)
+                        .collect();
+                    for &id in &wids {
+                        in_window[id as usize] = true;
                     }
+                    push_ids(&mut acc, q, &kv.keys, &kv.values, scale, &wids);
                 }
 
                 // Partition 2: the session-local window — always attended
                 // (late materialization keeps it un-indexed).
-                for j in 0..n_local {
-                    acc.push(local_kv.keys.dot_row(q, j) * scale, local_kv.values.row(j));
-                }
+                push_range(
+                    &mut acc,
+                    q,
+                    &local_kv.keys,
+                    &local_kv.values,
+                    scale,
+                    0,
+                    n_local,
+                );
 
                 // Window seeding for DIPRS (§7.1): best-so-far IP from the
                 // already-computed partitions.
-                let seed =
-                    if acc.is_empty() { None } else { Some(acc.max_score() / scale) };
+                let seed = if acc.is_empty() {
+                    None
+                } else {
+                    Some(acc.max_score() / scale)
+                };
 
                 // Partition 3 ("CPU"): retrieved critical tokens from the
                 // stored context.
@@ -310,7 +333,10 @@ impl Session {
                             .select_tokens(q, blocks)
                             .into_iter()
                             .filter(|&t| pred(t))
-                            .map(|t| ScoredIdx { idx: t as usize, score: 0.0 })
+                            .map(|t| ScoredIdx {
+                                idx: t as usize,
+                                score: 0.0,
+                            })
                             .collect()
                     }
                     (QueryType::TopK { k }, IndexChoice::Fine) => {
@@ -329,9 +355,7 @@ impl Session {
                             max_visits: usize::MAX,
                         };
                         match base.graph(layer, kv_head) {
-                            Some(g) => {
-                                diprs_filtered(g, &kv.keys, q, &params, seed, pred).tokens
-                            }
+                            Some(g) => diprs_filtered(g, &kv.keys, q, &params, seed, pred).tokens,
                             None => flat_dipr_filtered(&kv.keys, q, *beta, pred),
                         }
                     }
@@ -340,15 +364,69 @@ impl Session {
                     }
                 };
 
+                let mut extras: Vec<u32> = Vec::with_capacity(retrieved.len());
                 for s in retrieved {
                     let id = s.idx;
                     if id < n_stored && !in_window[id] {
                         in_window[id] = true; // guards duplicate retrievals
-                        acc.push(kv.keys.dot_row(q, id) * scale, kv.values.row(id));
+                        extras.push(id as u32);
                     }
                 }
+                push_ids(&mut acc, q, &kv.keys, &kv.values, scale, &extras);
                 acc.output()
             }
+        }
+    }
+}
+
+/// Keys scored per batched call below — big enough to amortize per-key row
+/// arithmetic, small enough that the score buffer lives on the stack.
+const SCORE_BLOCK: usize = 64;
+
+/// Streams rows `[start, start + len)` into `acc` in order, scoring
+/// [`SCORE_BLOCK`] contiguous keys per [`VecStore::dot_block`] call.
+/// `dot_block` is bitwise-identical to per-row `dot_row` and the push order
+/// is unchanged, so the accumulator state matches the one-push-per-key loop
+/// exactly — `attention_sequential` stays a bitwise oracle.
+fn push_range(
+    acc: &mut OnlineSoftmax,
+    q: &[f32],
+    keys: &VecStore,
+    values: &VecStore,
+    scale: f32,
+    start: usize,
+    len: usize,
+) {
+    let mut scores = [0.0f32; SCORE_BLOCK];
+    let mut i = start;
+    let end = start + len;
+    while i < end {
+        let b = SCORE_BLOCK.min(end - i);
+        let scores = &mut scores[..b];
+        keys.dot_block(q, i, scores);
+        for (j, &s) in scores.iter().enumerate() {
+            acc.push(s * scale, values.row(i + j));
+        }
+        i += b;
+    }
+}
+
+/// [`push_range`] for a non-contiguous id gather (same bitwise contract,
+/// via [`VecStore::dot_ids`]).
+fn push_ids(
+    acc: &mut OnlineSoftmax,
+    q: &[f32],
+    keys: &VecStore,
+    values: &VecStore,
+    scale: f32,
+    ids: &[u32],
+) {
+    let mut scores = [0.0f32; SCORE_BLOCK];
+    for chunk in ids.chunks(SCORE_BLOCK) {
+        let scores = &mut scores[..chunk.len()];
+        keys.dot_ids(q, chunk, scores);
+        for (&id, &s) in chunk.iter().zip(scores.iter()) {
+            acc.push(s * scale, values.row(id as usize));
         }
     }
 }

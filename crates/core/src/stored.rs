@@ -111,9 +111,7 @@ impl StoredContext {
 
             // Training queries: session-recorded samples, or sampled keys.
             let q_per_head: Vec<VecStore> = match queries {
-                Some(r) if r.layer(layer).iter().all(|s| !s.is_empty()) => {
-                    r.layer(layer).to_vec()
-                }
+                Some(r) if r.layer(layer).iter().all(|s| !s.is_empty()) => r.layer(layer).to_vec(),
                 _ => (0..n_kv * group)
                     .map(|qh| {
                         let keys = &keys_per_head[qh / group];
@@ -132,10 +130,22 @@ impl StoredContext {
                     share: true,
                 },
             );
-            graphs.push(built.indexes.into_iter().map(|rg| Some(rg.into_graph())).collect());
+            graphs.push(
+                built
+                    .indexes
+                    .into_iter()
+                    .map(|rg| Some(rg.into_graph()))
+                    .collect(),
+            );
         }
 
-        Self { id, tokens, kv, graphs, coarse }
+        Self {
+            id,
+            tokens,
+            kv,
+            graphs,
+            coarse,
+        }
     }
 
     /// Reassembles a stored context from persisted parts: KV cache and
@@ -162,7 +172,13 @@ impl StoredContext {
                     .collect()
             })
             .collect();
-        Self { id, tokens, kv, graphs, coarse }
+        Self {
+            id,
+            tokens,
+            kv,
+            graphs,
+            coarse,
+        }
     }
 
     /// Context length in tokens.
@@ -215,7 +231,11 @@ impl StoredContext {
 
     /// Longest common prefix between this context's tokens and `prompt`.
     pub fn common_prefix_len(&self, prompt: &[u32]) -> usize {
-        self.tokens.iter().zip(prompt).take_while(|(a, b)| a == b).count()
+        self.tokens
+            .iter()
+            .zip(prompt)
+            .take_while(|(a, b)| a == b)
+            .count()
     }
 }
 
@@ -230,10 +250,12 @@ mod tests {
         let mut kv = KvCache::new(cfg.n_layers, cfg.n_kv_heads, cfg.head_dim);
         for _ in 0..n_tokens {
             for layer in 0..cfg.n_layers {
-                let ks: Vec<Vec<f32>> =
-                    (0..cfg.n_kv_heads).map(|_| gaussian_vec(&mut rng, cfg.head_dim, 1.0)).collect();
-                let vs: Vec<Vec<f32>> =
-                    (0..cfg.n_kv_heads).map(|_| gaussian_vec(&mut rng, cfg.head_dim, 1.0)).collect();
+                let ks: Vec<Vec<f32>> = (0..cfg.n_kv_heads)
+                    .map(|_| gaussian_vec(&mut rng, cfg.head_dim, 1.0))
+                    .collect();
+                let vs: Vec<Vec<f32>> = (0..cfg.n_kv_heads)
+                    .map(|_| gaussian_vec(&mut rng, cfg.head_dim, 1.0))
+                    .collect();
                 kv.push_token(layer, &ks, &vs);
             }
         }

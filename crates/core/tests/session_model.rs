@@ -30,7 +30,10 @@ fn session_full_plan_matches_coupled_backend() {
     assert_eq!(truncated, prompt, "empty DB reuses nothing");
     let out_session = model.generate(&truncated, 12, &mut session);
 
-    assert_eq!(out_full, out_session, "full-attention session must match the coupled backend");
+    assert_eq!(
+        out_full, out_session,
+        "full-attention session must match the coupled backend"
+    );
 }
 
 /// Reusing a stored context must continue generation identically to
@@ -63,7 +66,10 @@ fn context_reuse_preserves_generation() {
     assert_eq!(truncated, question);
     let got = model.generate(&truncated, 8, &mut session);
 
-    assert_eq!(want, got, "reused-context generation must match recomputation");
+    assert_eq!(
+        want, got,
+        "reused-context generation must match recomputation"
+    );
 }
 
 /// Sparse plans activate on long contexts and still agree with full
@@ -146,7 +152,10 @@ fn partial_reuse_with_attribute_filtering() {
     for (a, b) in ref_logits.iter().zip(&got_logits) {
         max_err = max_err.max((a - b).abs());
     }
-    assert!(max_err < 0.15, "filtered sparse logits diverged: max err {max_err}");
+    assert!(
+        max_err < 0.15,
+        "filtered sparse logits diverged: max err {max_err}"
+    );
     assert!(
         session.plan_log().iter().any(|p| p.contains("token<80")),
         "expected a filtered plan, log: {:?}",
@@ -187,7 +196,10 @@ fn store_materializes_session_state_once() {
     let ref_logits = model.prefill(&follow_up, 0, &mut reference);
     let mut s2 = s2;
     let got_logits = model.prefill(&truncated, s2.seq_len(0), &mut s2);
-    assert!(close(&ref_logits, &got_logits, 1e-3), "stored context must reproduce state");
+    assert!(
+        close(&ref_logits, &got_logits, 1e-3),
+        "stored context must reproduce state"
+    );
 }
 
 /// Table 2's manual-management option: `full_kv` equals the coupled
@@ -211,8 +223,16 @@ fn full_kv_matches_coupled_cache() {
         for head in 0..model_cfg.n_kv_heads {
             let (keys, values) = session.full_kv(layer, head);
             let want = coupled.cache().head(layer, head);
-            assert_eq!(keys.as_flat(), want.keys.as_flat(), "layer {layer} head {head} keys");
-            assert_eq!(values.as_flat(), want.values.as_flat(), "layer {layer} head {head} values");
+            assert_eq!(
+                keys.as_flat(),
+                want.keys.as_flat(),
+                "layer {layer} head {head} keys"
+            );
+            assert_eq!(
+                values.as_flat(),
+                want.values.as_flat(),
+                "layer {layer} head {head} values"
+            );
         }
     }
 }

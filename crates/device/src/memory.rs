@@ -45,7 +45,11 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// Creates a tracker with the given byte budget.
     pub fn new(budget: u64) -> Arc<Self> {
-        Arc::new(Self { budget, in_use: AtomicU64::new(0), peak: AtomicU64::new(0) })
+        Arc::new(Self {
+            budget,
+            in_use: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        })
     }
 
     /// An effectively unlimited tracker (for host DRAM in experiments that
@@ -83,14 +87,23 @@ impl MemoryTracker {
             let next = match cur.checked_add(bytes) {
                 Some(n) if n <= self.budget => n,
                 _ => {
-                    return Err(OutOfMemory { requested: bytes, in_use: cur, budget: self.budget })
+                    return Err(OutOfMemory {
+                        requested: bytes,
+                        in_use: cur,
+                        budget: self.budget,
+                    })
                 }
             };
-            match self.in_use.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
             {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::AcqRel);
-                    return Ok(MemoryGuard { tracker: Arc::clone(self), bytes });
+                    return Ok(MemoryGuard {
+                        tracker: Arc::clone(self),
+                        bytes,
+                    });
                 }
                 Err(actual) => cur = actual,
             }
@@ -100,7 +113,10 @@ impl MemoryTracker {
     /// Whether `bytes` could be allocated right now. This is the optimizer's
     /// "GPU memory budget" probe — it does not reserve anything.
     pub fn would_fit(&self, bytes: u64) -> bool {
-        self.in_use().checked_add(bytes).map(|n| n <= self.budget).unwrap_or(false)
+        self.in_use()
+            .checked_add(bytes)
+            .map(|n| n <= self.budget)
+            .unwrap_or(false)
     }
 
     fn release(&self, bytes: u64) {

@@ -153,8 +153,10 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
         // wakeup, so this only bounds recovery from a hypothetical bug and
         // keeps idle workers of the immortal global pool from burning CPU
         // on frequent re-polls.
-        let (guard, _) =
-            shared.wake.wait_timeout(guard, Duration::from_millis(500)).unwrap();
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(500))
+            .unwrap();
         shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
     }
@@ -170,7 +172,9 @@ impl WorkStealingPool {
     /// Spawns a pool with `threads` workers (`0` = one per available core).
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
         } else {
             threads
         };
@@ -204,7 +208,10 @@ impl WorkStealingPool {
     /// returns. A panic in a detached task is caught and discarded — it
     /// never kills a worker.
     pub fn execute(&self, f: impl FnOnce() + Send + 'static) {
-        self.shared.push(Task { scope: 0, f: Box::new(f) });
+        self.shared.push(Task {
+            scope: 0,
+            f: Box::new(f),
+        });
     }
 
     /// Runs `f` with a [`Scope`] whose spawned tasks may borrow from the
@@ -220,7 +227,11 @@ impl WorkStealingPool {
             done: Mutex::new(()),
             cv: Condvar::new(),
         });
-        let scope = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
         let scope_id = Arc::as_ptr(&state) as usize;
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
 
@@ -241,7 +252,10 @@ impl WorkStealingPool {
             if state.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
-            let _ = state.cv.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+            let _ = state
+                .cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
         }
 
         match result {
@@ -277,7 +291,11 @@ impl WorkStealingPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let cap = if max_parallel == 0 { self.threads() * 4 } else { max_parallel };
+        let cap = if max_parallel == 0 {
+            self.threads() * 4
+        } else {
+            max_parallel
+        };
         let tasks = cap.min(n);
         if n <= 1 || tasks <= 1 || self.threads() <= 1 {
             return (0..n).map(f).collect();
@@ -295,7 +313,9 @@ impl WorkStealingPool {
                 });
             }
         });
-        out.into_iter().map(|o| o.expect("map task filled every slot")).collect()
+        out.into_iter()
+            .map(|o| o.expect("map task filled every slot"))
+            .collect()
     }
 }
 
@@ -344,10 +364,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // task. The transmute only erases the lifetime bound of the trait
         // object; layout is unchanged.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
-            std::mem::transmute::<
-                Box<dyn FnOnce() + Send + 'env>,
-                Box<dyn FnOnce() + Send + 'static>,
-            >(task)
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
         };
         let scope = Arc::as_ptr(&self.state) as usize;
         self.pool.shared.push(Task {

@@ -20,12 +20,18 @@ impl Slo {
     /// The paper's evaluation SLO: TPOT ≤ 0.24 s (human reading speed),
     /// TTFT unconstrained.
     pub fn reading_speed() -> Self {
-        Self { ttft_s: None, tpot_s: Some(0.24) }
+        Self {
+            ttft_s: None,
+            tpot_s: Some(0.24),
+        }
     }
 
     /// An SLO with both phases bounded.
     pub fn new(ttft_s: f64, tpot_s: f64) -> Self {
-        Self { ttft_s: Some(ttft_s), tpot_s: Some(tpot_s) }
+        Self {
+            ttft_s: Some(ttft_s),
+            tpot_s: Some(tpot_s),
+        }
     }
 
     /// Checks measured latencies against this SLO.

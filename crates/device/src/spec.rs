@@ -100,12 +100,20 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// PCIe 4.0 x16: ~25 GB/s sustained (of 32 GB/s peak), ~10 µs setup.
     pub fn pcie_gen4_x16() -> Self {
-        Self { name: "PCIe4.0x16".into(), bandwidth: 25e9, latency_s: 10e-6 }
+        Self {
+            name: "PCIe4.0x16".into(),
+            bandwidth: 25e9,
+            latency_s: 10e-6,
+        }
     }
 
     /// PCIe 5.0 x16: ~50 GB/s sustained.
     pub fn pcie_gen5_x16() -> Self {
-        Self { name: "PCIe5.0x16".into(), bandwidth: 50e9, latency_s: 10e-6 }
+        Self {
+            name: "PCIe5.0x16".into(),
+            bandwidth: 50e9,
+            latency_s: 10e-6,
+        }
     }
 
     /// Time to move `bytes` across the link.

@@ -107,7 +107,16 @@ impl CoarseIndex {
             }
         }
 
-        Self { block_size, n_tokens, dim, scoring, reps, reps_per_block, mins, maxs }
+        Self {
+            block_size,
+            n_tokens,
+            dim,
+            scoring,
+            reps,
+            reps_per_block,
+            mins,
+            maxs,
+        }
     }
 
     /// Number of blocks.
@@ -149,7 +158,10 @@ impl CoarseIndex {
 
     /// The `n_blocks` highest-scoring blocks, best first.
     pub fn select_blocks(&self, q: &[f32], n_blocks: usize) -> Vec<ScoredIdx> {
-        top_k_indices((0..self.n_blocks()).map(|b| self.block_score(q, b)), n_blocks)
+        top_k_indices(
+            (0..self.n_blocks()).map(|b| self.block_score(q, b)),
+            n_blocks,
+        )
     }
 
     /// Token-id range covered by `block`.

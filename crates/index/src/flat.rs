@@ -19,8 +19,16 @@ pub struct FlatIndex;
 
 impl FlatIndex {
     /// Exact top-`k` by inner product. Results are sorted descending.
+    ///
+    /// Scores the whole source through one [`VectorSource::score_range`]
+    /// block call (the sequential-bandwidth path the optimizer picks this
+    /// index for), so in-memory sources run the blocked multi-lane kernel
+    /// instead of one dispatch per key. Ids scoring NaN sort last and are
+    /// only returned once every finite score is exhausted.
     pub fn search_topk<S: VectorSource>(&self, source: &S, q: &[f32], k: usize) -> Vec<ScoredIdx> {
-        top_k_indices((0..source.len() as u32).map(|i| source.score(q, i)), k)
+        let mut scores = vec![0.0f32; source.len()];
+        source.score_range(q, 0, &mut scores);
+        top_k_indices(scores, k)
     }
 
     /// Exact top-`k` among ids satisfying `predicate` (attribute filtering).
@@ -33,7 +41,10 @@ impl FlatIndex {
     ) -> Vec<ScoredIdx> {
         let mut scored: Vec<ScoredIdx> = (0..source.len() as u32)
             .filter(|&i| predicate(i))
-            .map(|i| ScoredIdx { idx: i as usize, score: source.score(q, i) })
+            .map(|i| ScoredIdx {
+                idx: i as usize,
+                score: source.score(q, i),
+            })
             .collect();
         scored.sort_unstable_by(|a, b| b.cmp(a));
         scored.truncate(k);
@@ -49,6 +60,11 @@ impl FlatIndex {
     }
 
     /// Exact DIPR restricted to ids satisfying `predicate`.
+    ///
+    /// NaN scores can never enter the band (`NaN ≥ max − beta` is false) and
+    /// NaN never becomes the band maximum (`f32::max` skips it), so a
+    /// poisoned key degrades to "not critical" instead of corrupting the
+    /// result set.
     pub fn search_dipr_filtered<S: VectorSource>(
         &self,
         source: &S,
@@ -58,9 +74,15 @@ impl FlatIndex {
     ) -> Vec<ScoredIdx> {
         let mut scored: Vec<ScoredIdx> = (0..source.len() as u32)
             .filter(|&i| predicate(i))
-            .map(|i| ScoredIdx { idx: i as usize, score: source.score(q, i) })
+            .map(|i| ScoredIdx {
+                idx: i as usize,
+                score: source.score(q, i),
+            })
             .collect();
-        let max = scored.iter().map(|s| s.score).fold(f32::NEG_INFINITY, f32::max);
+        let max = scored
+            .iter()
+            .map(|s| s.score)
+            .fold(f32::NEG_INFINITY, f32::max);
         scored.retain(|s| s.score >= max - beta);
         scored.sort_unstable_by(|a, b| b.cmp(a));
         scored
@@ -127,5 +149,22 @@ mod tests {
         let s = VecStore::new(2);
         assert!(FlatIndex.search_topk(&s, &[1.0, 0.0], 3).is_empty());
         assert!(FlatIndex.search_dipr(&s, &[1.0, 0.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn nan_keys_never_enter_dipr_band_and_sort_last() {
+        // id 1 is NaN-poisoned; ids 0/2 score 1 and 3.
+        let s = VecStore::from_flat(2, vec![1.0, 0.0, f32::NAN, f32::NAN, 3.0, 0.0]);
+        let q = [1.0f32, 1.0];
+
+        // A huge beta band still excludes the NaN key.
+        let band = FlatIndex.search_dipr(&s, &q, 1e9);
+        let ids: Vec<usize> = band.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![2, 0]);
+
+        // Top-k prefers every finite score over the NaN one.
+        let top = FlatIndex.search_topk(&s, &q, 2);
+        let ids: Vec<usize> = top.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![2, 0]);
     }
 }

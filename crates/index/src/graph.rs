@@ -35,7 +35,10 @@ pub struct NeighborGraph {
 impl NeighborGraph {
     /// Creates an edgeless graph over `n` nodes with entry point 0.
     pub fn new(n: usize) -> Self {
-        Self { adjacency: vec![Vec::new(); n], entry: 0 }
+        Self {
+            adjacency: vec![Vec::new(); n],
+            entry: 0,
+        }
     }
 
     /// Number of nodes.
@@ -114,7 +117,11 @@ impl NeighborGraph {
 
     /// Approximate heap footprint in bytes (adjacency storage).
     pub fn bytes(&self) -> usize {
-        self.adjacency.iter().map(|l| l.capacity() * 4 + 24).sum::<usize>() + 32
+        self.adjacency
+            .iter()
+            .map(|l| l.capacity() * 4 + 24)
+            .sum::<usize>()
+            + 32
     }
 
     /// Best-first beam search maximizing inner product. Returns up to `k`
@@ -142,8 +149,20 @@ impl NeighborGraph {
 
         let entry_score = source.score(q, self.entry);
         visited.insert(self.entry);
-        frontier.push(ScoredIdx { idx: self.entry as usize, score: entry_score });
-        results.push(std::cmp::Reverse(ScoredIdx { idx: self.entry as usize, score: entry_score }));
+        frontier.push(ScoredIdx {
+            idx: self.entry as usize,
+            score: entry_score,
+        });
+        results.push(std::cmp::Reverse(ScoredIdx {
+            idx: self.entry as usize,
+            score: entry_score,
+        }));
+
+        // Scratch for scoring each expansion's unvisited neighbors as one
+        // block (scores are independent of heap state, so batching them
+        // before the sequential inserts below changes nothing).
+        let mut fresh: Vec<u32> = Vec::new();
+        let mut fresh_scores: Vec<f32> = Vec::new();
 
         while let Some(cand) = frontier.pop() {
             // The frontier's best cannot improve the result set: stop.
@@ -153,20 +172,28 @@ impl NeighborGraph {
                     break;
                 }
             }
+            fresh.clear();
             for &n in self.neighbors(cand.idx as u32) {
                 if visited.insert(n) {
-                    let score = source.score(q, n);
-                    let item = ScoredIdx { idx: n as usize, score };
-                    if results.len() < ef {
+                    fresh.push(n);
+                }
+            }
+            fresh_scores.resize(fresh.len(), 0.0);
+            source.score_block(q, &fresh, &mut fresh_scores);
+            for (&n, &score) in fresh.iter().zip(&fresh_scores) {
+                let item = ScoredIdx {
+                    idx: n as usize,
+                    score,
+                };
+                if results.len() < ef {
+                    results.push(std::cmp::Reverse(item));
+                    frontier.push(item);
+                } else {
+                    let worst = results.peek().unwrap().0;
+                    if item > worst {
+                        results.pop();
                         results.push(std::cmp::Reverse(item));
                         frontier.push(item);
-                    } else {
-                        let worst = results.peek().unwrap().0;
-                        if item > worst {
-                            results.pop();
-                            results.push(std::cmp::Reverse(item));
-                            frontier.push(item);
-                        }
                     }
                 }
             }
@@ -233,7 +260,9 @@ pub struct VisitedSet {
 impl VisitedSet {
     /// Creates a cleared set for ids `0..n`.
     pub fn new(n: usize) -> Self {
-        Self { bits: vec![0; n.div_ceil(64)] }
+        Self {
+            bits: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Marks `id` visited; returns `true` if it was previously unvisited.
@@ -306,17 +335,24 @@ mod tests {
         g.add_edge_bidirectional(3, 4);
         g.set_entry(0);
         let got = g.search_topk(&vecs, &[1.0], 5, SearchParams { ef: 8 });
-        assert!(got.iter().all(|s| s.idx < 3), "unreachable nodes returned: {got:?}");
+        assert!(
+            got.iter().all(|s| s.idx < 3),
+            "unreachable nodes returned: {got:?}"
+        );
     }
 
     #[test]
     fn empty_and_k_zero() {
         let g = NeighborGraph::new(0);
         let vecs = VecStore::new(1);
-        assert!(g.search_topk(&vecs, &[1.0], 3, SearchParams::default()).is_empty());
+        assert!(g
+            .search_topk(&vecs, &[1.0], 3, SearchParams::default())
+            .is_empty());
         let g = NeighborGraph::new(1);
         let vecs = VecStore::from_flat(1, vec![1.0]);
-        assert!(g.search_topk(&vecs, &[1.0], 0, SearchParams::default()).is_empty());
+        assert!(g
+            .search_topk(&vecs, &[1.0], 0, SearchParams::default())
+            .is_empty());
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 128, seed: 7 }
+        Self {
+            m: 16,
+            ef_construction: 128,
+            seed: 7,
+        }
     }
 }
 
@@ -105,9 +109,17 @@ impl Hnsw {
         let start = level.min(self.max_level);
         for lvl in (0..=start).rev() {
             let found = self.search_level(source, &q, ep, lvl, self.params.ef_construction);
-            let m_max = if lvl == 0 { self.params.m * 2 } else { self.params.m };
-            let chosen: Vec<u32> =
-                found.iter().take(m_max).map(|s| s.idx as u32).filter(|&n| n != id).collect();
+            let m_max = if lvl == 0 {
+                self.params.m * 2
+            } else {
+                self.params.m
+            };
+            let chosen: Vec<u32> = found
+                .iter()
+                .take(m_max)
+                .map(|s| s.idx as u32)
+                .filter(|&n| n != id)
+                .collect();
             node_levels[lvl] = chosen.clone();
             // Back-link with degree cap enforcement.
             for n in chosen {
@@ -119,7 +131,11 @@ impl Hnsw {
         }
 
         self.levels.push(node_levels);
-        debug_assert_eq!(self.levels.len() - 1, id as usize, "ids must be inserted in order");
+        debug_assert_eq!(
+            self.levels.len() - 1,
+            id as usize,
+            "ids must be inserted in order"
+        );
         if level > self.max_level {
             self.max_level = level;
             self.entry = id;
@@ -127,7 +143,10 @@ impl Hnsw {
     }
 
     fn neighbors_at(&self, node: u32, level: usize) -> &[u32] {
-        self.levels[node as usize].get(level).map(|v| v.as_slice()).unwrap_or(&[])
+        self.levels[node as usize]
+            .get(level)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Adds edge `from → to` at `level`, evicting the lowest-IP neighbor if
@@ -173,7 +192,10 @@ impl Hnsw {
         let mut frontier = std::collections::BinaryHeap::new();
         let mut results: std::collections::BinaryHeap<std::cmp::Reverse<ScoredIdx>> =
             std::collections::BinaryHeap::new();
-        let e = ScoredIdx { idx: entry as usize, score: source.score(q, entry) };
+        let e = ScoredIdx {
+            idx: entry as usize,
+            score: source.score(q, entry),
+        };
         visited.insert(entry);
         frontier.push(e);
         results.push(std::cmp::Reverse(e));
@@ -183,7 +205,10 @@ impl Hnsw {
             }
             for &n in self.neighbors_at(c.idx as u32, level) {
                 if visited.insert(n) {
-                    let item = ScoredIdx { idx: n as usize, score: source.score(q, n) };
+                    let item = ScoredIdx {
+                        idx: n as usize,
+                        score: source.score(q, n),
+                    };
                     if results.len() < ef {
                         results.push(std::cmp::Reverse(item));
                         frontier.push(item);
@@ -278,8 +303,7 @@ mod tests {
             let q = queries.row(qi);
             let got = hnsw.search_topk(&base, q, 10, SearchParams { ef: 64 });
             let want = FlatIndex.search_topk(&base, q, 10);
-            let want_ids: std::collections::HashSet<usize> =
-                want.iter().map(|s| s.idx).collect();
+            let want_ids: std::collections::HashSet<usize> = want.iter().map(|s| s.idx).collect();
             hits += got.iter().filter(|s| want_ids.contains(&s.idx)).count();
             total += want.len();
         }
@@ -322,7 +346,11 @@ mod tests {
     #[test]
     fn degree_caps_respected() {
         let base = gaussian_store(&mut vseeded(9), 300, 8, 1.0);
-        let params = HnswParams { m: 8, ef_construction: 64, seed: 2 };
+        let params = HnswParams {
+            m: 8,
+            ef_construction: 64,
+            seed: 2,
+        };
         let hnsw = Hnsw::build(&base, params);
         for node in &hnsw.levels {
             for (l, list) in node.iter().enumerate() {

@@ -32,12 +32,17 @@ impl Default for KnnParams {
 
 /// Exact top-`k` base ids (by inner product) for every query — serial
 /// reference implementation (the paper's "CPU" baseline in Figure 11a).
+///
+/// Each query scores the whole base through one blocked
+/// [`VecStore::dot_rows`] call (bitwise identical to per-row `dot`, see
+/// `alaya_vector::ops::dot_many`) into a buffer reused across queries.
 pub fn exact_knn(base: &VecStore, queries: &VecStore, k: usize) -> Vec<Vec<ScoredIdx>> {
     assert_eq!(base.dim(), queries.dim(), "dimensionality mismatch");
+    let mut scores = vec![0.0f32; base.len()];
     (0..queries.len())
         .map(|qi| {
-            let q = queries.row(qi);
-            top_k_indices(base.iter().map(|b| alaya_vector::dot(q, b)), k)
+            base.dot_rows(queries.row(qi), &mut scores);
+            top_k_indices(scores.iter().copied(), k)
         })
         .collect()
 }
@@ -59,8 +64,9 @@ pub fn exact_knn_parallel(
         return exact_knn(base, queries, params.k);
     }
     alaya_device::pool::global().map_bounded(n, params.threads, |qi| {
-        let q = queries.row(qi);
-        top_k_indices(base.iter().map(|b| alaya_vector::dot(q, b)), params.k)
+        let mut scores = vec![0.0f32; base.len()];
+        base.dot_rows(queries.row(qi), &mut scores);
+        top_k_indices(scores, params.k)
     })
 }
 

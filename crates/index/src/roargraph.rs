@@ -46,7 +46,13 @@ pub struct RoarGraphParams {
 
 impl Default for RoarGraphParams {
     fn default() -> Self {
-        Self { knn_k: 12, max_degree: 24, ef_construction: 64, parallel_knn: true, threads: 0 }
+        Self {
+            knn_k: 12,
+            max_degree: 24,
+            ef_construction: 64,
+            parallel_knn: true,
+            threads: 0,
+        }
     }
 }
 
@@ -91,7 +97,14 @@ impl RoarGraph {
         // Stage 1: q→k kNN + bipartite projection.
         let t0 = Instant::now();
         let knn = if params.parallel_knn {
-            exact_knn_parallel(base, queries, KnnParams { k: params.knn_k, threads: params.threads })
+            exact_knn_parallel(
+                base,
+                queries,
+                KnnParams {
+                    k: params.knn_k,
+                    threads: params.threads,
+                },
+            )
         } else {
             exact_knn(base, queries, params.knn_k)
         };
@@ -140,10 +153,14 @@ impl RoarGraph {
         for start in (0..n).step_by(batch) {
             let end = (start + batch).min(n);
             let ids: Vec<u32> = (start as u32..end as u32).collect();
-            let search_params = SearchParams { ef: params.ef_construction };
+            let search_params = SearchParams {
+                ef: params.ef_construction,
+            };
             let found_per_id: Vec<Vec<alaya_vector::topk::ScoredIdx>> = if !parallel {
                 ids.iter()
-                    .map(|&id| graph.search_topk(base, base.row(id as usize), half.max(4), search_params))
+                    .map(|&id| {
+                        graph.search_topk(base, base.row(id as usize), half.max(4), search_params)
+                    })
                     .collect()
             } else {
                 let graph_ref = &graph;
@@ -230,8 +247,9 @@ fn prune_to_degree(graph: &mut NeighborGraph, base: &VecStore, max_degree: usize
         // max-norm hubs.
         let mut scored: Vec<ScoredIdx> = nbrs
             .iter()
-            .map(|&n| {
-                ScoredIdx { idx: n as usize, score: -alaya_vector::l2_sq(v, base.row(n as usize)) }
+            .map(|&n| ScoredIdx {
+                idx: n as usize,
+                score: -alaya_vector::l2_sq(v, base.row(n as usize)),
             })
             .collect();
         scored.sort_unstable_by(|a, b| b.cmp(a));
@@ -251,8 +269,9 @@ fn prune_to_degree(graph: &mut NeighborGraph, base: &VecStore, max_degree: usize
             // let one max-norm hub occlude *every* candidate and collapse
             // the graph onto it.
             let node_dist = -cand.score;
-            let is_occluded =
-                kept.iter().any(|s| alaya_vector::l2_sq(cvec, base.row(s.idx)) < node_dist);
+            let is_occluded = kept
+                .iter()
+                .any(|s| alaya_vector::l2_sq(cvec, base.row(s.idx)) < node_dist);
             if is_occluded {
                 occluded.push(cand);
             } else {
@@ -346,7 +365,10 @@ mod tests {
     #[test]
     fn degree_bounded_after_stage_one() {
         let (base, train) = ood_data(300, 120, 8, 5);
-        let params = RoarGraphParams { max_degree: 16, ..Default::default() };
+        let params = RoarGraphParams {
+            max_degree: 16,
+            ..Default::default()
+        };
         let rg = RoarGraph::build(&base, &train, params);
         // Stage 2 may add a little, but degrees must stay near the cap
         // (strays chained by connect_unreachable add at most 1).
@@ -391,14 +413,25 @@ mod tests {
         let a = RoarGraph::build(
             &base,
             &train,
-            RoarGraphParams { parallel_knn: false, ..Default::default() },
+            RoarGraphParams {
+                parallel_knn: false,
+                ..Default::default()
+            },
         );
         let b = RoarGraph::build(
             &base,
             &train,
-            RoarGraphParams { parallel_knn: true, threads: 4, ..Default::default() },
+            RoarGraphParams {
+                parallel_knn: true,
+                threads: 4,
+                ..Default::default()
+            },
         );
-        assert_eq!(a.graph(), b.graph(), "parallelism must not change the result");
+        assert_eq!(
+            a.graph(),
+            b.graph(),
+            "parallelism must not change the result"
+        );
     }
 
     #[test]

@@ -85,9 +85,7 @@ pub fn build_shared_indexes(
             let total = (keys.len() as f64 * cfg.sample_ratio).ceil() as usize;
             let per_head = total.div_ceil(cfg.group_size).max(1);
             let mut merged = VecStore::new(keys.dim());
-            for head_queries in
-                &queries_per_q_head[g * cfg.group_size..(g + 1) * cfg.group_size]
-            {
+            for head_queries in &queries_per_q_head[g * cfg.group_size..(g + 1) * cfg.group_size] {
                 merged.extend_from(&sample_rows(head_queries, per_head));
             }
             indexes.push(RoarGraph::build(keys, &merged, cfg.params));
@@ -103,7 +101,10 @@ pub fn build_shared_indexes(
         }
     }
 
-    SharedBuildResult { indexes, build_seconds: t0.elapsed().as_secs_f64() }
+    SharedBuildResult {
+        indexes,
+        build_seconds: t0.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -120,9 +121,12 @@ mod tests {
         dim: usize,
     ) -> (Vec<VecStore>, Vec<VecStore>) {
         let mut rng = seeded(77);
-        let keys: Vec<VecStore> = (0..n_kv).map(|_| gaussian_store(&mut rng, n_keys, dim, 1.0)).collect();
-        let queries: Vec<VecStore> =
-            (0..n_kv * group).map(|_| gaussian_store(&mut rng, n_keys, dim, 1.1)).collect();
+        let keys: Vec<VecStore> = (0..n_kv)
+            .map(|_| gaussian_store(&mut rng, n_keys, dim, 1.0))
+            .collect();
+        let queries: Vec<VecStore> = (0..n_kv * group)
+            .map(|_| gaussian_store(&mut rng, n_keys, dim, 1.1))
+            .collect();
         (keys, queries)
     }
 

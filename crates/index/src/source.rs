@@ -32,6 +32,31 @@ pub trait VectorSource {
         self.load(id, &mut buf);
         dot(q, &buf)
     }
+
+    /// Scores `q` against the contiguous id range `[start, start + out.len())`,
+    /// one score per slot. Callers use this so sequential scans pay one call
+    /// per block instead of one (possibly virtual) dispatch per key.
+    ///
+    /// Implementations must return results **bitwise identical** to per-id
+    /// [`VectorSource::score`] calls — the default does exactly that, and
+    /// contiguous in-memory sources override it with a blocked kernel that
+    /// preserves the per-row reduction order.
+    fn score_range(&self, q: &[f32], start: u32, out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.score(q, start + j as u32);
+        }
+    }
+
+    /// Scores `q` against an arbitrary block of ids (`out[i]` receives the
+    /// score of `ids[i]`). Same bitwise contract as
+    /// [`VectorSource::score_range`]; used by graph traversals to score a
+    /// whole frontier of candidate neighbors per call.
+    fn score_block(&self, q: &[f32], ids: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(ids.len(), out.len());
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = self.score(q, id);
+        }
+    }
 }
 
 impl VectorSource for VecStore {
@@ -49,6 +74,10 @@ impl VectorSource for VecStore {
 
     fn score(&self, q: &[f32], id: u32) -> f32 {
         self.dot_row(q, id as usize)
+    }
+
+    fn score_range(&self, q: &[f32], start: u32, out: &mut [f32]) {
+        self.dot_block(q, start as usize, out);
     }
 }
 
@@ -84,5 +113,25 @@ mod tests {
             }
         }
         assert_eq!(Doubler.score(&[1.0, 10.0], 2), 14.0);
+    }
+
+    #[test]
+    fn score_range_and_block_match_per_id_score() {
+        let data: Vec<f32> = (0..3 * 6).map(|i| (i as f32 * 0.4).sin()).collect();
+        let s = VecStore::from_flat(3, data);
+        let q = [0.3f32, -1.2, 0.8];
+
+        let mut range = vec![0.0f32; 4];
+        s.score_range(&q, 1, &mut range);
+        for (j, &got) in range.iter().enumerate() {
+            assert_eq!(got.to_bits(), s.score(&q, 1 + j as u32).to_bits());
+        }
+
+        let ids = [5u32, 0, 3];
+        let mut block = vec![0.0f32; ids.len()];
+        s.score_block(&q, &ids, &mut block);
+        for (&id, &got) in ids.iter().zip(&block) {
+            assert_eq!(got.to_bits(), s.score(&q, id).to_bits());
+        }
     }
 }

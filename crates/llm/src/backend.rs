@@ -62,7 +62,11 @@ impl FullKvBackend {
     /// Wraps an existing cache (e.g. one imported from AlayaDB).
     pub fn from_cache(cache: KvCache, gqa_group: usize) -> Self {
         let inv_sqrt_d = 1.0 / (cache.head_dim() as f32).sqrt();
-        Self { cache, gqa_group, inv_sqrt_d }
+        Self {
+            cache,
+            gqa_group,
+            inv_sqrt_d,
+        }
     }
 
     /// Borrows the underlying cache (for `DB.import`).
@@ -81,6 +85,11 @@ impl AttentionBackend for FullKvBackend {
         self.cache.push_token(layer, &input.keys, &input.values);
         let head_dim = self.cache.head_dim();
 
+        // Scores are computed a block of keys at a time (`dot_block` is
+        // bitwise-identical to per-row `dot_row`) and pushed in id order, so
+        // the accumulator matches the per-key loop bit for bit.
+        const SCORE_BLOCK: usize = 64;
+        let mut scores = [0.0f32; SCORE_BLOCK];
         input
             .queries
             .iter()
@@ -88,9 +97,15 @@ impl AttentionBackend for FullKvBackend {
             .map(|(qh, q)| {
                 let kv = self.cache.head(layer, qh / self.gqa_group);
                 let mut acc = OnlineSoftmax::new(head_dim);
-                for i in 0..kv.len() {
-                    let score = kv.keys.dot_row(q, i) * self.inv_sqrt_d;
-                    acc.push(score, kv.values.row(i));
+                let mut i = 0;
+                while i < kv.len() {
+                    let b = SCORE_BLOCK.min(kv.len() - i);
+                    let scores = &mut scores[..b];
+                    kv.keys.dot_block(q, i, scores);
+                    for (j, &s) in scores.iter().enumerate() {
+                        acc.push(s * self.inv_sqrt_d, kv.values.row(i + j));
+                    }
+                    i += b;
                 }
                 acc.output()
             })
@@ -108,9 +123,15 @@ mod tests {
 
     fn step(cfg: &ModelConfig, fill: f32) -> StepInput {
         StepInput {
-            queries: (0..cfg.n_q_heads).map(|h| vec![fill + h as f32; cfg.head_dim]).collect(),
-            keys: (0..cfg.n_kv_heads).map(|h| vec![fill * 0.5 + h as f32; cfg.head_dim]).collect(),
-            values: (0..cfg.n_kv_heads).map(|h| vec![fill - h as f32; cfg.head_dim]).collect(),
+            queries: (0..cfg.n_q_heads)
+                .map(|h| vec![fill + h as f32; cfg.head_dim])
+                .collect(),
+            keys: (0..cfg.n_kv_heads)
+                .map(|h| vec![fill * 0.5 + h as f32; cfg.head_dim])
+                .collect(),
+            values: (0..cfg.n_kv_heads)
+                .map(|h| vec![fill - h as f32; cfg.head_dim])
+                .collect(),
         }
     }
 

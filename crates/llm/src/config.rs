@@ -84,13 +84,19 @@ impl ModelConfig {
     /// misconfiguration. Called by weight generation.
     pub fn validate(&self) {
         assert!(self.n_layers > 0, "model needs at least one layer");
-        assert!(self.n_q_heads > 0 && self.n_kv_heads > 0, "head counts must be positive");
+        assert!(
+            self.n_q_heads > 0 && self.n_kv_heads > 0,
+            "head counts must be positive"
+        );
         assert_eq!(
             self.n_q_heads % self.n_kv_heads,
             0,
             "n_q_heads must be a multiple of n_kv_heads for GQA"
         );
-        assert!(self.head_dim > 0 && self.head_dim.is_multiple_of(2), "head_dim must be positive and even (RoPE rotates pairs)");
+        assert!(
+            self.head_dim > 0 && self.head_dim.is_multiple_of(2),
+            "head_dim must be positive and even (RoPE rotates pairs)"
+        );
         assert!(self.vocab_size > 0, "vocab must be non-empty");
     }
 }

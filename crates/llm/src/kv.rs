@@ -19,7 +19,10 @@ pub struct HeadKv {
 impl HeadKv {
     /// Creates an empty per-head cache for `head_dim` vectors.
     pub fn new(head_dim: usize) -> Self {
-        Self { keys: VecStore::new(head_dim), values: VecStore::new(head_dim) }
+        Self {
+            keys: VecStore::new(head_dim),
+            values: VecStore::new(head_dim),
+        }
     }
 
     /// Number of cached tokens.
@@ -41,7 +44,10 @@ impl HeadKv {
 
     /// Copies the first `n` tokens into a new cache (prefix reuse).
     pub fn prefix(&self, n: usize) -> HeadKv {
-        HeadKv { keys: self.keys.prefix(n), values: self.values.prefix(n) }
+        HeadKv {
+            keys: self.keys.prefix(n),
+            values: self.values.prefix(n),
+        }
     }
 
     /// Heap footprint in bytes.
@@ -103,8 +109,16 @@ impl KvCache {
     /// Panics if the number of keys or values differs from `n_kv_heads`.
     pub fn push_token(&mut self, layer: usize, keys: &[Vec<f32>], values: &[Vec<f32>]) {
         let layer_heads = &mut self.heads[layer];
-        assert_eq!(keys.len(), layer_heads.len(), "one key per KV head required");
-        assert_eq!(values.len(), layer_heads.len(), "one value per KV head required");
+        assert_eq!(
+            keys.len(),
+            layer_heads.len(),
+            "one key per KV head required"
+        );
+        assert_eq!(
+            values.len(),
+            layer_heads.len(),
+            "one value per KV head required"
+        );
         for ((h, k), v) in layer_heads.iter_mut().zip(keys).zip(values) {
             h.push(k, v);
         }

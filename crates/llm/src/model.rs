@@ -54,8 +54,7 @@ impl Model {
             let k_flat = matvec(&lw.wk, &h);
             let v_flat = matvec(&lw.wv, &h);
 
-            let mut queries: Vec<Vec<f32>> =
-                q_flat.chunks_exact(hd).map(|c| c.to_vec()).collect();
+            let mut queries: Vec<Vec<f32>> = q_flat.chunks_exact(hd).map(|c| c.to_vec()).collect();
             let mut keys: Vec<Vec<f32>> = k_flat.chunks_exact(hd).map(|c| c.to_vec()).collect();
             let values: Vec<Vec<f32>> = v_flat.chunks_exact(hd).map(|c| c.to_vec()).collect();
             for q in queries.iter_mut() {
@@ -65,7 +64,14 @@ impl Model {
                 self.rope.apply(k, pos);
             }
 
-            let head_outs = backend.attend(layer, StepInput { queries, keys, values });
+            let head_outs = backend.attend(
+                layer,
+                StepInput {
+                    queries,
+                    keys,
+                    values,
+                },
+            );
             debug_assert_eq!(head_outs.len(), cfg.n_q_heads);
 
             let mut concat = Vec::with_capacity(cfg.hidden_dim());
@@ -90,7 +96,11 @@ impl Model {
 
         // Tied LM head: logits = embedding · final_norm(x).
         let h = rms_norm(&x, &self.weights.final_norm, cfg.norm_eps);
-        self.weights.embedding.iter().map(|row| alaya_vector::dot(row, &h)).collect()
+        self.weights
+            .embedding
+            .iter()
+            .map(|row| alaya_vector::dot(row, &h))
+            .collect()
     }
 
     /// Prefill phase: processes every prompt token, returning the logits of

@@ -18,7 +18,10 @@ impl Rope {
     /// Builds the frequency table for `head_dim` (must be even) with base
     /// frequency `theta`.
     pub fn new(head_dim: usize, theta: f32) -> Self {
-        assert!(head_dim.is_multiple_of(2), "RoPE requires an even head dimension");
+        assert!(
+            head_dim.is_multiple_of(2),
+            "RoPE requires an even head dimension"
+        );
         let half = head_dim / 2;
         let inv_freq = (0..half)
             .map(|i| 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32))

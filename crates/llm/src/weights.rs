@@ -99,7 +99,11 @@ impl ModelWeights {
 
         let embedding = gaussian_store(&mut rng, cfg.vocab_size, hidden, 1.0);
 
-        Self { embedding, final_norm: vec![1.0; hidden], layers }
+        Self {
+            embedding,
+            final_norm: vec![1.0; hidden],
+            layers,
+        }
     }
 }
 

@@ -22,7 +22,11 @@ pub struct DiprsParams {
 
 impl Default for DiprsParams {
     fn default() -> Self {
-        Self { beta: 1.0, l0: 64, max_visits: usize::MAX }
+        Self {
+            beta: 1.0,
+            l0: 64,
+            max_visits: usize::MAX,
+        }
     }
 }
 
@@ -96,32 +100,42 @@ where
     let entry_score = source.score(q, entry);
     result.visited += 1;
     if predicate(entry) {
-        c.push(ScoredIdx { idx: entry as usize, score: entry_score });
+        c.push(ScoredIdx {
+            idx: entry as usize,
+            score: entry_score,
+        });
         result.appended += 1;
         result.max_ip = result.max_ip.max(entry_score);
     }
 
-    // tryAppend (lines 10-14), with the best-so-far max maintained
-    // incrementally instead of rescanning C.
-    let try_append = |k: u32,
-                          c: &mut Vec<ScoredIdx>,
-                          result: &mut DiprsResult,
-                          visited: &mut VisitedSet|
-     -> bool {
-        if !visited.insert(k) {
-            return false;
+    // One sweep expansion = gather the unvisited, predicate-passing 1-hop
+    // and 2-hop frontier in traversal order, score it as one block, then
+    // apply tryAppend (lines 10-14) sequentially. Scores do not depend on
+    // the candidate-list state, so batching them ahead of the append
+    // decisions returns exactly what per-key scoring would; the visit
+    // budget truncates the block just as the per-node check did (nodes past
+    // the budget stay marked visited but unscored, as before).
+    let mut fresh: Vec<u32> = Vec::new();
+    let mut fresh_scores: Vec<f32> = Vec::new();
+    let append_block = |fresh: &[u32],
+                        fresh_scores: &mut Vec<f32>,
+                        c: &mut Vec<ScoredIdx>,
+                        result: &mut DiprsResult| {
+        let remaining = params.max_visits.saturating_sub(result.visited);
+        let block = &fresh[..fresh.len().min(remaining)];
+        fresh_scores.resize(block.len(), 0.0);
+        source.score_block(q, block, fresh_scores);
+        for (&k, &score) in block.iter().zip(fresh_scores.iter()) {
+            result.visited += 1;
+            if c.len() <= params.l0 || score >= result.max_ip - params.beta {
+                c.push(ScoredIdx {
+                    idx: k as usize,
+                    score,
+                });
+                result.appended += 1;
+                result.max_ip = result.max_ip.max(score);
+            }
         }
-        if result.visited >= params.max_visits {
-            return false;
-        }
-        let score = source.score(q, k);
-        result.visited += 1;
-        if c.len() <= params.l0 || score >= result.max_ip - params.beta {
-            c.push(ScoredIdx { idx: k as usize, score });
-            result.appended += 1;
-            result.max_ip = result.max_ip.max(score);
-        }
-        true
     };
 
     // Lines 2-7: sweep the growing list.
@@ -130,34 +144,42 @@ where
     // from its neighborhood before the main loop (C would stay empty
     // otherwise).
     if c.is_empty() {
+        fresh.clear();
         for &n in graph.neighbors(entry) {
             if predicate(n) {
-                try_append(n, &mut c, &mut result, &mut visited);
+                if visited.insert(n) {
+                    fresh.push(n);
+                }
             } else if visited.insert(n) {
                 for &m in graph.neighbors(n) {
-                    if predicate(m) {
-                        try_append(m, &mut c, &mut result, &mut visited);
+                    if predicate(m) && visited.insert(m) {
+                        fresh.push(m);
                     }
                 }
             }
         }
+        append_block(&fresh, &mut fresh_scores, &mut c, &mut result);
     }
 
     while i < c.len() {
         let ci = c[i].idx as u32;
         i += 1;
+        fresh.clear();
         for &n in graph.neighbors(ci) {
             if predicate(n) {
-                try_append(n, &mut c, &mut result, &mut visited);
+                if visited.insert(n) {
+                    fresh.push(n);
+                }
             } else if visited.insert(n) {
                 // 2-hop expansion through the excluded node.
                 for &m in graph.neighbors(n) {
-                    if predicate(m) {
-                        try_append(m, &mut c, &mut result, &mut visited);
+                    if predicate(m) && visited.insert(m) {
+                        fresh.push(m);
                     }
                 }
             }
         }
+        append_block(&fresh, &mut fresh_scores, &mut c, &mut result);
         if result.visited >= params.max_visits {
             break;
         }
@@ -204,7 +226,10 @@ where
     if predicate(entry) {
         let score = source.score(q, entry);
         result.visited += 1;
-        c.push(ScoredIdx { idx: entry as usize, score });
+        c.push(ScoredIdx {
+            idx: entry as usize,
+            score,
+        });
         result.appended += 1;
         result.max_ip = result.max_ip.max(score);
     }
@@ -224,7 +249,10 @@ where
             let score = source.score(q, n);
             result.visited += 1;
             if c.len() <= params.l0 || score >= result.max_ip - params.beta {
-                c.push(ScoredIdx { idx: n as usize, score });
+                c.push(ScoredIdx {
+                    idx: n as usize,
+                    score,
+                });
                 result.appended += 1;
                 result.max_ip = result.max_ip.max(score);
             }
@@ -264,30 +292,46 @@ where
     let mut results: std::collections::BinaryHeap<std::cmp::Reverse<ScoredIdx>> =
         std::collections::BinaryHeap::new();
 
-    let consider = |id: u32,
-                        visited: &mut VisitedSet,
-                        frontier: &mut std::collections::BinaryHeap<ScoredIdx>,
-                        results: &mut std::collections::BinaryHeap<std::cmp::Reverse<ScoredIdx>>| {
-        if !visited.insert(id) {
-            return;
-        }
-        let item = ScoredIdx { idx: id as usize, score: source.score(q, id) };
-        if results.len() < ef {
-            results.push(std::cmp::Reverse(item));
-            frontier.push(item);
-        } else if item > results.peek().unwrap().0 {
-            results.pop();
-            results.push(std::cmp::Reverse(item));
-            frontier.push(item);
-        }
-    };
+    // Frontier scoring is batched per expansion (see `diprs_filtered`):
+    // heap-insert decisions depend on heap state, scores do not, so scoring
+    // the gathered block first and applying the insert logic in gathering
+    // order yields exactly the per-key traversal's result.
+    let mut fresh: Vec<u32> = Vec::new();
+    let mut fresh_scores: Vec<f32> = Vec::new();
+    let consider_block =
+        |fresh: &[u32],
+         fresh_scores: &mut Vec<f32>,
+         frontier: &mut std::collections::BinaryHeap<ScoredIdx>,
+         results: &mut std::collections::BinaryHeap<std::cmp::Reverse<ScoredIdx>>| {
+            fresh_scores.resize(fresh.len(), 0.0);
+            source.score_block(q, fresh, fresh_scores);
+            for (&id, &score) in fresh.iter().zip(fresh_scores.iter()) {
+                let item = ScoredIdx {
+                    idx: id as usize,
+                    score,
+                };
+                if results.len() < ef {
+                    results.push(std::cmp::Reverse(item));
+                    frontier.push(item);
+                } else if item > results.peek().unwrap().0 {
+                    results.pop();
+                    results.push(std::cmp::Reverse(item));
+                    frontier.push(item);
+                }
+            }
+        };
 
     let entry = graph.entry();
+    visited.insert(entry);
     if predicate(entry) {
-        consider(entry, &mut visited, &mut frontier, &mut results);
+        fresh.clear();
+        fresh.push(entry);
+        consider_block(&fresh, &mut fresh_scores, &mut frontier, &mut results);
     } else {
-        visited.insert(entry);
-        frontier.push(ScoredIdx { idx: entry as usize, score: source.score(q, entry) });
+        frontier.push(ScoredIdx {
+            idx: entry as usize,
+            score: source.score(q, entry),
+        });
     }
 
     while let Some(cand) = frontier.pop() {
@@ -298,17 +342,21 @@ where
                 }
             }
         }
+        fresh.clear();
         for &n in graph.neighbors(cand.idx as u32) {
             if predicate(n) {
-                consider(n, &mut visited, &mut frontier, &mut results);
+                if visited.insert(n) {
+                    fresh.push(n);
+                }
             } else if visited.insert(n) {
                 for &m in graph.neighbors(n) {
-                    if predicate(m) {
-                        consider(m, &mut visited, &mut frontier, &mut results);
+                    if predicate(m) && visited.insert(m) {
+                        fresh.push(m);
                     }
                 }
             }
         }
+        consider_block(&fresh, &mut fresh_scores, &mut frontier, &mut results);
     }
 
     let mut out: Vec<ScoredIdx> = results.into_iter().map(|r| r.0).collect();
@@ -357,8 +405,17 @@ mod tests {
         let mut recall_sum = 0.0;
         for qi in 0..queries.len() {
             let q = queries.row(qi);
-            let res =
-                diprs(&graph, &base, q, &DiprsParams { beta, l0: 64, max_visits: usize::MAX }, None);
+            let res = diprs(
+                &graph,
+                &base,
+                q,
+                &DiprsParams {
+                    beta,
+                    l0: 64,
+                    max_visits: usize::MAX,
+                },
+                None,
+            );
             let exact = FlatIndex.search_dipr(&base, q, beta);
             let got: std::collections::HashSet<usize> = res.tokens.iter().map(|t| t.idx).collect();
             let hit = exact.iter().filter(|e| got.contains(&e.idx)).count();
@@ -372,7 +429,11 @@ mod tests {
     fn returned_band_is_tight() {
         // Every returned token's score must be within beta of the returned max.
         let (graph, base, queries) = fixture(300, 8, 103);
-        let params = DiprsParams { beta: 1.5, l0: 32, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta: 1.5,
+            l0: 32,
+            max_visits: usize::MAX,
+        };
         let q = queries.row(0);
         let res = diprs(&graph, &base, q, &params, None);
         assert!(!res.tokens.is_empty());
@@ -404,7 +465,11 @@ mod tests {
                 g.add_edge(i, j);
             }
         }
-        let params = DiprsParams { beta: 0.5, l0: 8, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta: 0.5,
+            l0: 8,
+            max_visits: usize::MAX,
+        };
         let q = [1.0, 0.0, 0.0, 0.0];
         let few = diprs(&g, &peaked, &q, &params, None);
         let many = diprs(&g, &flat_keys, &q, &params, None);
@@ -416,7 +481,11 @@ mod tests {
     fn window_seed_prunes_exploration() {
         let (graph, base, queries) = fixture(600, 12, 104);
         let q = queries.row(3);
-        let params = DiprsParams { beta: 1.0, l0: 16, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta: 1.0,
+            l0: 16,
+            max_visits: usize::MAX,
+        };
         let plain = diprs(&graph, &base, q, &params, None);
         // Seed with the true maximum: pruning can only get tighter.
         let exact_max = FlatIndex.search_topk(&base, q, 1)[0].score;
@@ -443,7 +512,11 @@ mod tests {
             &graph,
             &base,
             q,
-            &DiprsParams { beta: 2.0, l0: 48, max_visits: usize::MAX },
+            &DiprsParams {
+                beta: 2.0,
+                l0: 48,
+                max_visits: usize::MAX,
+            },
             None,
             |id| (id as usize) < prefix,
         );
@@ -465,13 +538,16 @@ mod tests {
                     &graph,
                     &base,
                     q,
-                    &DiprsParams { beta, l0: 64, max_visits: usize::MAX },
+                    &DiprsParams {
+                        beta,
+                        l0: 64,
+                        max_visits: usize::MAX,
+                    },
                     None,
                     |id| (id as usize) < prefix,
                 );
-                let exact = FlatIndex.search_dipr_filtered(&base, q, beta, |id| {
-                    (id as usize) < prefix
-                });
+                let exact =
+                    FlatIndex.search_dipr_filtered(&base, q, beta, |id| (id as usize) < prefix);
                 let got: std::collections::HashSet<usize> =
                     res.tokens.iter().map(|t| t.idx).collect();
                 let hit = exact.iter().filter(|e| got.contains(&e.idx)).count();
@@ -492,8 +568,7 @@ mod tests {
             let q = queries.row(qi);
             let got = graph_topk_filtered(&graph, &base, q, 10, 80, |id| (id as usize) < prefix);
             assert!(got.iter().all(|t| t.idx < prefix));
-            let want =
-                FlatIndex.search_topk_filtered(&base, q, 10, |id| (id as usize) < prefix);
+            let want = FlatIndex.search_topk_filtered(&base, q, 10, |id| (id as usize) < prefix);
             let want_ids: std::collections::HashSet<usize> = want.iter().map(|s| s.idx).collect();
             hits += got.iter().filter(|s| want_ids.contains(&s.idx)).count();
             total += want.len();
@@ -519,25 +594,34 @@ mod tests {
         let (graph, base, queries) = fixture(800, 12, 109);
         let beta = 2.0f32;
         let prefix = 160usize; // 20% reuse ratio
-        let params = DiprsParams { beta, l0: 48, max_visits: usize::MAX };
+        let params = DiprsParams {
+            beta,
+            l0: 48,
+            max_visits: usize::MAX,
+        };
         let (mut naive_recall, mut twohop_recall) = (0.0f64, 0.0f64);
         for qi in 0..queries.len() {
             let q = queries.row(qi);
             let exact = FlatIndex.search_dipr_filtered(&base, q, beta, |id| (id as usize) < prefix);
-            let exact_ids: std::collections::HashSet<usize> =
-                exact.iter().map(|s| s.idx).collect();
-            let naive =
-                super::diprs_filtered_naive(&graph, &base, q, &params, None, |id| {
-                    (id as usize) < prefix
-                });
-            let twohop = diprs_filtered(&graph, &base, q, &params, None, |id| {
+            let exact_ids: std::collections::HashSet<usize> = exact.iter().map(|s| s.idx).collect();
+            let naive = super::diprs_filtered_naive(&graph, &base, q, &params, None, |id| {
                 (id as usize) < prefix
             });
+            let twohop =
+                diprs_filtered(&graph, &base, q, &params, None, |id| (id as usize) < prefix);
             let denom = exact_ids.len().max(1) as f64;
-            naive_recall +=
-                naive.tokens.iter().filter(|t| exact_ids.contains(&t.idx)).count() as f64 / denom;
-            twohop_recall +=
-                twohop.tokens.iter().filter(|t| exact_ids.contains(&t.idx)).count() as f64 / denom;
+            naive_recall += naive
+                .tokens
+                .iter()
+                .filter(|t| exact_ids.contains(&t.idx))
+                .count() as f64
+                / denom;
+            twohop_recall += twohop
+                .tokens
+                .iter()
+                .filter(|t| exact_ids.contains(&t.idx))
+                .count() as f64
+                / denom;
         }
         naive_recall /= queries.len() as f64;
         twohop_recall /= queries.len() as f64;
@@ -555,7 +639,11 @@ mod tests {
             &graph,
             &base,
             queries.row(0),
-            &DiprsParams { beta: 5.0, l0: 64, max_visits: 10 },
+            &DiprsParams {
+                beta: 5.0,
+                l0: 64,
+                max_visits: 10,
+            },
             None,
         );
         assert!(res.visited <= 10);

@@ -41,7 +41,12 @@ pub struct OptimizerConfig {
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        Self { short_context_threshold: 4096, default_beta: 50.0, default_k: 100, flat_layers: 1 }
+        Self {
+            short_context_threshold: 4096,
+            default_beta: 50.0,
+            default_k: 100,
+            flat_layers: 1,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ impl Plan {
                 Some(f) => format!("FullAttention(prefix<{})", f.prefix_len),
                 None => "FullAttention".to_string(),
             },
-            Plan::Sparse { query, index, filter } => {
+            Plan::Sparse {
+                query,
+                index,
+                filter,
+            } => {
                 let q = match query {
                     QueryType::TopK { k } => format!("TopK(k={k})"),
                     QueryType::Dipr { beta } => format!("DIPR(beta={beta})"),
@@ -140,7 +149,9 @@ impl Optimizer {
         // latency (InfLLM-in-AlayaDB).
         if gpu.would_fit(spec.coarse_bytes_needed) {
             return Plan::Sparse {
-                query: QueryType::TopK { k: self.cfg.default_k },
+                query: QueryType::TopK {
+                    k: self.cfg.default_k,
+                },
                 index: IndexChoice::Coarse,
                 filter,
             };
@@ -153,7 +164,13 @@ impl Optimizer {
         } else {
             IndexChoice::Fine
         };
-        Plan::Sparse { query: QueryType::Dipr { beta: self.cfg.default_beta }, index, filter }
+        Plan::Sparse {
+            query: QueryType::Dipr {
+                beta: self.cfg.default_beta,
+            },
+            index,
+            filter,
+        }
     }
 }
 
@@ -184,7 +201,11 @@ mod tests {
         let gpu = MemoryTracker::new(48 << 30);
         let plan = opt.plan(&spec(100_000, 5), &gpu);
         match plan {
-            Plan::Sparse { query: QueryType::TopK { .. }, index: IndexChoice::Coarse, filter } => {
+            Plan::Sparse {
+                query: QueryType::TopK { .. },
+                index: IndexChoice::Coarse,
+                filter,
+            } => {
                 assert!(filter.is_none())
             }
             other => panic!("expected coarse top-k, got {other:?}"),
@@ -197,12 +218,20 @@ mod tests {
         let gpu = MemoryTracker::new(1 << 20); // 1 MiB: nothing fits
         let first = opt.plan(&spec(100_000, 0), &gpu);
         match first {
-            Plan::Sparse { query: QueryType::Dipr { .. }, index: IndexChoice::Flat, .. } => {}
+            Plan::Sparse {
+                query: QueryType::Dipr { .. },
+                index: IndexChoice::Flat,
+                ..
+            } => {}
             other => panic!("layer 0 should be DIPR+Flat, got {other:?}"),
         }
         let deep = opt.plan(&spec(100_000, 17), &gpu);
         match deep {
-            Plan::Sparse { query: QueryType::Dipr { .. }, index: IndexChoice::Fine, .. } => {}
+            Plan::Sparse {
+                query: QueryType::Dipr { .. },
+                index: IndexChoice::Fine,
+                ..
+            } => {}
             other => panic!("deep layer should be DIPR+Fine, got {other:?}"),
         }
     }
@@ -215,7 +244,9 @@ mod tests {
         s.reused_prefix = Some(40_000);
         let plan = opt.plan(&s, &gpu);
         match plan {
-            Plan::Sparse { filter: Some(f), .. } => assert_eq!(f.prefix_len, 40_000),
+            Plan::Sparse {
+                filter: Some(f), ..
+            } => assert_eq!(f.prefix_len, 40_000),
             other => panic!("expected filtered plan, got {other:?}"),
         }
     }
@@ -241,9 +272,21 @@ mod tests {
         let opt = Optimizer::default();
         let gpu = MemoryTracker::new(2 << 30);
         let s = spec(100_000, 4);
-        assert!(matches!(opt.plan(&s, &gpu), Plan::Sparse { index: IndexChoice::Coarse, .. }));
+        assert!(matches!(
+            opt.plan(&s, &gpu),
+            Plan::Sparse {
+                index: IndexChoice::Coarse,
+                ..
+            }
+        ));
         let _hold = gpu.alloc((2 << 30) - (1 << 20)).unwrap();
-        assert!(matches!(opt.plan(&s, &gpu), Plan::Sparse { index: IndexChoice::Fine, .. }));
+        assert!(matches!(
+            opt.plan(&s, &gpu),
+            Plan::Sparse {
+                index: IndexChoice::Fine,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -254,6 +297,9 @@ mod tests {
             filter: Some(PrefixFilter { prefix_len: 7 }),
         };
         assert_eq!(p.explain(), "DIPR(beta=50) on Fine where token<7");
-        assert_eq!(Plan::FullAttention { filter: None }.explain(), "FullAttention");
+        assert_eq!(
+            Plan::FullAttention { filter: None }.explain(),
+            "FullAttention"
+        );
     }
 }

@@ -6,7 +6,10 @@
 /// Theorem 1: `a_ij ≥ α · max_s(a_is)` ⇔ `q·k_j ≥ max_s(q·k_s) − β` with
 /// `β = −√d · ln(α)`.
 pub fn beta_from_alpha(alpha: f32, head_dim: usize) -> f32 {
-    assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0, 1]"
+    );
     -((head_dim as f32).sqrt()) * alpha.ln()
 }
 

@@ -44,11 +44,18 @@ impl AdmissionController {
     /// A controller reserving `bytes_per_session` per admission from
     /// `tracker`.
     pub fn new(tracker: Arc<MemoryTracker>, bytes_per_session: u64) -> Self {
-        Self { tracker, bytes_per_session }
+        Self {
+            tracker,
+            bytes_per_session,
+        }
     }
 
     /// A controller sized from the DB configuration (see [`session_bytes`]).
-    pub fn for_config(tracker: Arc<MemoryTracker>, cfg: &DbConfig, max_local_tokens: usize) -> Self {
+    pub fn for_config(
+        tracker: Arc<MemoryTracker>,
+        cfg: &DbConfig,
+        max_local_tokens: usize,
+    ) -> Self {
         Self::new(tracker, session_bytes(cfg, max_local_tokens))
     }
 

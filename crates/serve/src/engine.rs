@@ -13,7 +13,7 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use alaya_core::stored::ContextId;
-use alaya_core::Db;
+use alaya_core::{Db, StoreHandle};
 use alaya_device::memory::MemoryTracker;
 use alaya_device::pool::{self, WorkStealingPool};
 use alaya_llm::backend::{AttentionBackend, StepInput};
@@ -45,7 +45,11 @@ pub struct ServeOptions {
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        Self { threads: 0, max_local_tokens: 256, admission: None }
+        Self {
+            threads: 0,
+            max_local_tokens: 256,
+            admission: None,
+        }
     }
 }
 
@@ -77,10 +81,8 @@ impl ServeEngine {
             Arc::new(WorkStealingPool::new(opts.threads))
         };
         let tracker = opts.admission.unwrap_or_else(|| Arc::clone(db.gpu()));
-        let admission = AdmissionController::new(
-            tracker,
-            session_bytes(db.config(), opts.max_local_tokens),
-        );
+        let admission =
+            AdmissionController::new(tracker, session_bytes(db.config(), opts.max_local_tokens));
         let core = Arc::new(SchedulerCore::new(pool));
         let sched_core = Arc::clone(&core);
         let scheduler = std::thread::Builder::new()
@@ -162,7 +164,11 @@ impl ServeEngine {
     ) -> Result<(), ServeError> {
         let expected_dim = self.db.config().model.head_dim;
         if tensor.len() != expected_heads || tensor.iter().any(|t| t.len() != expected_dim) {
-            return Err(ServeError::InvalidShape { what, expected_heads, expected_dim });
+            return Err(ServeError::InvalidShape {
+                what,
+                expected_heads,
+                expected_dim,
+            });
         }
         Ok(())
     }
@@ -251,7 +257,12 @@ impl ServeEngine {
         self.check_shape(&queries, "query", self.db.config().model.n_q_heads)?;
         let slot = self.slot(id)?;
         let (tx, rx) = mpsc::channel();
-        self.core.enqueue(Pending { slot, queries, layer, reply: tx });
+        self.core.enqueue(Pending {
+            slot,
+            queries,
+            layer,
+            reply: tx,
+        });
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
@@ -281,10 +292,29 @@ impl ServeEngine {
     /// Materializes the session into a stored, indexed context
     /// (`DB.store`). The session stays admitted; follow with
     /// [`ServeEngine::close`] to release its reservation.
+    ///
+    /// The session lock is held only long enough to snapshot (the local
+    /// window and query samples; the reused prefix is shared by `Arc`) —
+    /// the KV merge and index build run on the shared pool, so in-flight
+    /// attention on this and co-batched sessions keeps serving while a
+    /// huge context builds. This call still blocks its *own* caller until
+    /// the context is published; use [`ServeEngine::store_background`] to
+    /// get the handle instead.
     pub fn store(&self, id: SessionId) -> Result<ContextId, ServeError> {
+        self.store_background(id)?
+            .wait()
+            .map_err(ServeError::StoreFailed)
+    }
+
+    /// Copy-on-write store: snapshots the session under its lock (cheap)
+    /// and builds the context on the shared pool. The returned handle
+    /// carries the reserved [`ContextId`]; the context appears in the DB
+    /// atomically when the build finishes — readers never observe a
+    /// partially built context.
+    pub fn store_background(&self, id: SessionId) -> Result<StoreHandle, ServeError> {
         let slot = self.slot(id)?;
         let session = slot.lock();
-        Ok(self.db.store(&session))
+        Ok(self.db.store_background(&session))
     }
 
     /// Removes the session, dropping its admission reservation.
@@ -364,8 +394,14 @@ mod tests {
             eng.attention(bogus, &q, 0).unwrap_err(),
             ServeError::UnknownSession(bogus)
         );
-        assert_eq!(eng.close(bogus).unwrap_err(), ServeError::UnknownSession(bogus));
-        assert_eq!(eng.store(bogus).unwrap_err(), ServeError::UnknownSession(bogus));
+        assert_eq!(
+            eng.close(bogus).unwrap_err(),
+            ServeError::UnknownSession(bogus)
+        );
+        assert_eq!(
+            eng.store(bogus).unwrap_err(),
+            ServeError::UnknownSession(bogus)
+        );
     }
 
     #[test]
@@ -395,7 +431,10 @@ mod tests {
         let ok_q = vec![vec![1.0; cfg.head_dim]; cfg.n_q_heads];
         assert_eq!(
             eng.attention(sid, &ok_q, cfg.n_layers).unwrap_err(),
-            ServeError::InvalidLayer { layer: cfg.n_layers, n_layers: cfg.n_layers }
+            ServeError::InvalidLayer {
+                layer: cfg.n_layers,
+                n_layers: cfg.n_layers
+            }
         );
 
         // attention: wrong head count (too many and too few), wrong dim.
@@ -444,7 +483,10 @@ mod tests {
         let db = Arc::new(Db::new(cfg));
         let eng = ServeEngine::with_options(
             Arc::clone(&db),
-            ServeOptions { max_local_tokens, ..Default::default() },
+            ServeOptions {
+                max_local_tokens,
+                ..Default::default()
+            },
         );
 
         let (sid, _) = eng.admit(&[1, 2, 3]).unwrap();

@@ -33,9 +33,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use alaya_core::session::PARALLEL_MIN_TOKENS;
 use alaya_core::stored::ContextId;
 use alaya_core::Session;
-use alaya_llm::backend::AttentionBackend as _;
 use alaya_device::memory::{MemoryGuard, OutOfMemory};
 use alaya_device::pool::WorkStealingPool;
+use alaya_llm::backend::AttentionBackend as _;
 use alaya_query::optimizer::Plan;
 
 use crate::engine::SessionId;
@@ -74,6 +74,9 @@ pub enum ServeError {
     /// known-malformed requests are rejected up front as
     /// [`ServeError::InvalidShape`].
     ExecutionPanicked,
+    /// A background store's KV merge or index build panicked; no context
+    /// was published and the session lives on.
+    StoreFailed(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,15 +86,23 @@ impl std::fmt::Display for ServeError {
             ServeError::OutOfMemory(oom) => write!(f, "admission rejected: {oom}"),
             ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
             ServeError::InvalidLayer { layer, n_layers } => {
-                write!(f, "layer {layer} out of range: the model has {n_layers} layers")
+                write!(
+                    f,
+                    "layer {layer} out of range: the model has {n_layers} layers"
+                )
             }
-            ServeError::InvalidShape { what, expected_heads, expected_dim } => write!(
+            ServeError::InvalidShape {
+                what,
+                expected_heads,
+                expected_dim,
+            } => write!(
                 f,
                 "{what} tensor must be {expected_heads} heads x {expected_dim} dims"
             ),
             ServeError::ExecutionPanicked => {
                 write!(f, "batch execution panicked; request aborted")
             }
+            ServeError::StoreFailed(msg) => write!(f, "background store failed: {msg}"),
         }
     }
 }
@@ -137,7 +148,9 @@ impl SessionSlot {
     /// innocent tenants sharing that batch must not be bricked by the
     /// poison flag.
     pub(crate) fn lock(&self) -> MutexGuard<'_, Session> {
-        self.session.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -261,8 +274,12 @@ fn slot_ptr(p: &Pending) -> usize {
 fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     let stats = &core.stats;
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    stats.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
+    stats
+        .requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats
+        .max_batch
+        .fetch_max(batch.len() as u64, Ordering::Relaxed);
 
     // Group by (context, layer, reused prefix): members share one plan.
     let mut groups: HashMap<GroupKey, Vec<usize>> = HashMap::new();
@@ -284,7 +301,9 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
         let leader = &batch[idxs[0]];
         let plan = guards[&slot_ptr(leader)].plan(leader.layer);
         stats.plans_computed.fetch_add(1, Ordering::Relaxed);
-        stats.shared_plan_requests.fetch_add(idxs.len() as u64 - 1, Ordering::Relaxed);
+        stats
+            .shared_plan_requests
+            .fetch_add(idxs.len() as u64 - 1, Ordering::Relaxed);
         for &i in idxs {
             plans[i] = Some(plan.clone());
         }
@@ -300,8 +319,7 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     let mut outputs: Vec<Vec<Option<Vec<f32>>>> =
         batch.iter().map(|p| vec![None; p.queries.len()]).collect();
     {
-        let sessions: HashMap<usize, &Session> =
-            guards.iter().map(|(&k, g)| (k, &**g)).collect();
+        let sessions: HashMap<usize, &Session> = guards.iter().map(|(&k, g)| (k, &**g)).collect();
         core.pool.scope(|s| {
             for ((p, plan), out) in batch.iter().zip(&plans).zip(outputs.iter_mut()) {
                 let session = sessions[&slot_ptr(p)];
@@ -332,8 +350,10 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     drop(guards);
 
     for (p, out) in batch.iter().zip(outputs) {
-        let result: Vec<Vec<f32>> =
-            out.into_iter().map(|o| o.expect("head task filled its slot")).collect();
+        let result: Vec<Vec<f32>> = out
+            .into_iter()
+            .map(|o| o.expect("head task filled its slot"))
+            .collect();
         // A dropped receiver means the caller gave up; nothing to do.
         let _ = p.reply.send(Ok(result));
     }
@@ -354,7 +374,10 @@ mod tests {
             reused_len: session.reused_len(),
             session: Mutex::new(session),
             _reservation: None,
-            growth: Mutex::new(ReservationGrowth { covered_tokens: usize::MAX, guards: Vec::new() }),
+            growth: Mutex::new(ReservationGrowth {
+                covered_tokens: usize::MAX,
+                guards: Vec::new(),
+            }),
         })
     }
 
@@ -404,7 +427,10 @@ mod tests {
         let stats = core.stats.snapshot();
         assert_eq!(stats.requests, 4);
         assert_eq!(stats.batches, 1);
-        assert_eq!(stats.plans_computed, 2, "3 same-key requests share one plan");
+        assert_eq!(
+            stats.plans_computed, 2,
+            "3 same-key requests share one plan"
+        );
         assert_eq!(stats.shared_plan_requests, 2);
         assert_eq!(stats.max_batch, 4);
 
@@ -443,8 +469,18 @@ mod tests {
         execute_batch(
             &core,
             vec![
-                Pending { slot: Arc::clone(&slot), queries: queries.clone(), layer: 0, reply: tx1 },
-                Pending { slot: Arc::clone(&slot), queries: queries.clone(), layer: 0, reply: tx2 },
+                Pending {
+                    slot: Arc::clone(&slot),
+                    queries: queries.clone(),
+                    layer: 0,
+                    reply: tx1,
+                },
+                Pending {
+                    slot: Arc::clone(&slot),
+                    queries: queries.clone(),
+                    layer: 0,
+                    reply: tx2,
+                },
             ],
         );
         let a = rx1.recv().unwrap().unwrap();
@@ -473,8 +509,16 @@ mod tests {
         // front; here we drive the scheduler directly to test the backstop).
         let bad = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads * 4];
         let (tx, rx) = mpsc::channel();
-        core.enqueue(Pending { slot: Arc::clone(&slot), queries: bad, layer: 0, reply: tx });
-        assert_eq!(rx.recv().unwrap().unwrap_err(), ServeError::ExecutionPanicked);
+        core.enqueue(Pending {
+            slot: Arc::clone(&slot),
+            queries: bad,
+            layer: 0,
+            reply: tx,
+        });
+        assert_eq!(
+            rx.recv().unwrap().unwrap_err(),
+            ServeError::ExecutionPanicked
+        );
 
         // The scheduler thread survived — and the poisoned session lock is
         // recovered, so a well-formed request on the same session serves.

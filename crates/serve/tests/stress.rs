@@ -168,7 +168,10 @@ fn admission_control_returns_out_of_memory() {
     let db = Arc::new(Db::new(cfg));
     let engine = ServeEngine::with_options(
         Arc::clone(&db),
-        ServeOptions { max_local_tokens, ..Default::default() },
+        ServeOptions {
+            max_local_tokens,
+            ..Default::default()
+        },
     );
 
     let prompt: Vec<u32> = (0..10).collect();
@@ -191,6 +194,141 @@ fn admission_control_returns_out_of_memory() {
     engine.close(c).unwrap();
 }
 
+/// A large `store()` runs on the shared pool and publishes copy-on-write:
+/// co-batched tenants keep serving (bitwise-identical) attention while the
+/// index builds, and `Db::context` never answers with a partially built
+/// context — the new id is invisible until the KV merge, coarse indexes and
+/// graphs are all in place, then appears complete in one step.
+#[test]
+fn store_while_serving_publishes_atomically_and_never_blocks_attention() {
+    const STEPS: usize = 12;
+
+    let model_cfg = ModelConfig::tiny();
+    let context: Vec<u32> = (0..500u32).map(|i| (i * 13) % 251).collect();
+    let db = db_with_context(&model_cfg, &context);
+    let engine = ServeEngine::new(Arc::clone(&db));
+    let dim = model_cfg.head_dim;
+
+    let mut prompt = context.clone();
+    prompt.extend([201u32, 202, 203]);
+
+    // The storing session reuses the stored context, decodes the truncated
+    // tail, and then snapshots into a background store.
+    let (store_sid, truncated) = engine.admit(&prompt).expect("admission");
+    engine.note_tokens(store_sid, &truncated).unwrap();
+    let mut rng = seeded(42);
+    for _ in 0..truncated.len() {
+        for layer in 0..model_cfg.n_layers {
+            let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                .collect();
+            engine
+                .update(store_sid, &queries, &keys, &values, layer)
+                .unwrap();
+            engine.attention(store_sid, &queries, layer).unwrap();
+        }
+    }
+
+    // Admit the co-tenant *before* kicking off the store so its first
+    // request races the build, then start the background build.
+    let (tenant_sid, _) = engine.admit(&prompt).expect("tenant admission");
+    let handle = engine.store_background(store_sid).expect("store kickoff");
+    let expected_len = prompt.len();
+    let flat_layers = db.config().optimizer.flat_layers;
+
+    let served_during_build = std::thread::scope(|s| {
+        // Reader thread: whenever the in-flight id becomes visible, it must
+        // already be the *complete* context.
+        let poller = s.spawn(|| loop {
+            if let Some(ctx) = db.context(handle.id()) {
+                assert_eq!(ctx.len(), expected_len, "published context incomplete");
+                for layer in 0..model_cfg.n_layers {
+                    for h in 0..model_cfg.n_kv_heads {
+                        assert_eq!(
+                            ctx.coarse(layer, h).n_tokens(),
+                            expected_len,
+                            "coarse index for layer {layer} head {h} incomplete"
+                        );
+                        match ctx.graph(layer, h) {
+                            Some(g) => {
+                                assert!(layer >= flat_layers, "graph on flat layer {layer}");
+                                assert_eq!(g.len(), expected_len, "graph incomplete");
+                            }
+                            None => assert!(layer < flat_layers, "missing graph on {layer}"),
+                        }
+                    }
+                }
+            }
+            if handle.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        });
+
+        // Co-batched tenant decodes while the store builds; outputs must
+        // still be bitwise-identical to a sequential twin.
+        let tenant = s.spawn(|| {
+            let (mut reference, _) = db.create_session(&prompt);
+            let mut rng = seeded(7);
+            let mut served_while_building = 0usize;
+            for _step in 0..STEPS {
+                for layer in 0..model_cfg.n_layers {
+                    let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
+                        .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                        .collect();
+                    let keys: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                        .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                        .collect();
+                    let values: Vec<Vec<f32>> = (0..model_cfg.n_kv_heads)
+                        .map(|_| gaussian_vec(&mut rng, dim, 1.0))
+                        .collect();
+                    engine
+                        .update(tenant_sid, &queries, &keys, &values, layer)
+                        .unwrap();
+                    let served = engine.attention(tenant_sid, &queries, layer).unwrap();
+                    if !handle.is_finished() {
+                        served_while_building += 1;
+                    }
+                    reference.update(&queries, &keys, &values, layer);
+                    let want = reference.attention_sequential(&queries, layer);
+                    assert_eq!(
+                        served, want,
+                        "tenant diverged during store at layer {layer}"
+                    );
+                }
+            }
+            served_while_building
+        });
+
+        poller.join().unwrap();
+        tenant.join().unwrap()
+    });
+    assert!(
+        served_during_build > 0,
+        "co-tenant attention must complete while store() is still building"
+    );
+
+    let id = handle.wait().expect("background store succeeds");
+    assert_eq!(id, handle.id());
+    let ctx = db.context(id).expect("context published after wait");
+    assert_eq!(ctx.len(), expected_len);
+
+    // The published context is immediately reusable: a new session over the
+    // same prompt now matches the longer stored prefix.
+    let (reuse, reuse_truncated) = db.create_session(&prompt);
+    assert_eq!(reuse.reused_len(), prompt.len() - 1);
+    assert_eq!(reuse_truncated.len(), 1);
+
+    engine.close(tenant_sid).unwrap();
+    engine.close(store_sid).unwrap();
+}
+
 /// Admitted-but-rejected callers racing from many threads: the tracker
 /// never overshoots and every failure is a typed error.
 #[test]
@@ -203,7 +341,10 @@ fn concurrent_admission_never_overshoots() {
     let db = Arc::new(Db::new(cfg));
     let engine = ServeEngine::with_options(
         Arc::clone(&db),
-        ServeOptions { max_local_tokens, ..Default::default() },
+        ServeOptions {
+            max_local_tokens,
+            ..Default::default()
+        },
     );
 
     let prompt: Vec<u32> = (0..8).collect();

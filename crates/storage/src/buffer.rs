@@ -161,7 +161,9 @@ impl BufferManager {
     }
 
     fn touch(&self, frame: &Frame) {
-        frame.last_used.store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        frame
+            .last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Pins block `(file, block)` into the pool, fetching from the device on
@@ -172,7 +174,10 @@ impl BufferManager {
             frame.pins.fetch_add(1, Ordering::AcqRel);
             self.touch(frame);
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(PageGuard { mgr: Arc::clone(self), frame: Arc::clone(frame) });
+            return Ok(PageGuard {
+                mgr: Arc::clone(self),
+                frame: Arc::clone(frame),
+            });
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
 
@@ -194,7 +199,10 @@ impl BufferManager {
         });
         self.touch(&frame);
         table.insert((file, block), Arc::clone(&frame));
-        Ok(PageGuard { mgr: Arc::clone(self), frame })
+        Ok(PageGuard {
+            mgr: Arc::clone(self),
+            frame,
+        })
     }
 
     /// Evicts one unpinned frame, preferring data blocks, then LRU within
@@ -204,7 +212,10 @@ impl BufferManager {
             .values()
             .filter(|f| f.pins.load(Ordering::Acquire) == 0)
             .max_by_key(|f| {
-                (f.kind.eviction_rank(), u64::MAX - f.last_used.load(Ordering::Relaxed))
+                (
+                    f.kind.eviction_rank(),
+                    u64::MAX - f.last_used.load(Ordering::Relaxed),
+                )
             })
             .map(|f| (f.file, f.block));
         let Some(key) = victim else {
@@ -344,7 +355,7 @@ mod tests {
         drop(mgr.pin(fid, 1, BlockKind::Data).unwrap());
         drop(mgr.pin(fid, 2, BlockKind::Data).unwrap()); // evicts block 1
         drop(mgr.pin(fid, 3, BlockKind::Data).unwrap()); // evicts block 2
-        // Block 0 is still pinned and resident.
+                                                         // Block 0 is still pinned and resident.
         pinned.read(|buf| assert_eq!(buf.len(), 256));
         let before = mgr.stats().hits();
         drop(mgr.pin(fid, 0, BlockKind::Data).unwrap());
@@ -397,7 +408,12 @@ mod tests {
 
     #[test]
     fn kind_byte_round_trip() {
-        for k in [BlockKind::Super, BlockKind::Index, BlockKind::Data, BlockKind::Free] {
+        for k in [
+            BlockKind::Super,
+            BlockKind::Index,
+            BlockKind::Data,
+            BlockKind::Free,
+        ] {
             assert_eq!(BlockKind::from_byte(k.to_byte()), Some(k));
         }
         assert_eq!(BlockKind::from_byte(0), None);

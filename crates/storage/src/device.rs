@@ -44,9 +44,17 @@ pub struct FileDevice {
 impl FileDevice {
     /// Creates (or truncates) a device file at `path`.
     pub fn create(path: &Path, block_size: usize) -> io::Result<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        Ok(Self { file, block_size, n_blocks: AtomicU64::new(0) })
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            block_size,
+            n_blocks: AtomicU64::new(0),
+        })
     }
 
     /// Opens an existing device file.
@@ -59,7 +67,11 @@ impl FileDevice {
                 "file length is not a multiple of the block size",
             ));
         }
-        Ok(Self { file, block_size, n_blocks: AtomicU64::new(len / block_size as u64) })
+        Ok(Self {
+            file,
+            block_size,
+            n_blocks: AtomicU64::new(len / block_size as u64),
+        })
     }
 
     fn check_range(&self, block: u64) -> io::Result<()> {
@@ -116,7 +128,10 @@ pub struct MemDevice {
 impl MemDevice {
     /// Creates an empty in-memory device.
     pub fn new(block_size: usize) -> Self {
-        Self { blocks: RwLock::new(Vec::new()), block_size }
+        Self {
+            blocks: RwLock::new(Vec::new()),
+            block_size,
+        }
     }
 }
 
@@ -132,7 +147,10 @@ impl BlockDevice for MemDevice {
     fn read_block(&self, block: u64, buf: &mut [u8]) -> io::Result<()> {
         let blocks = self.blocks.read();
         let src = blocks.get(block as usize).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, format!("block {block} out of range"))
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("block {block} out of range"),
+            )
         })?;
         buf.copy_from_slice(src);
         Ok(())
@@ -141,7 +159,10 @@ impl BlockDevice for MemDevice {
     fn write_block(&self, block: u64, data: &[u8]) -> io::Result<()> {
         let mut blocks = self.blocks.write();
         let dst = blocks.get_mut(block as usize).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, format!("block {block} out of range"))
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("block {block} out of range"),
+            )
         })?;
         dst.copy_from_slice(data);
         Ok(())

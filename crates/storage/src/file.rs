@@ -67,7 +67,10 @@ impl VectorFile {
         assert!(dim > 0, "dimensionality must be positive");
         let block_size = device.block_size();
         let payload_cap = block_size - HEADER_LEN;
-        assert!(payload_cap >= dim * 4, "block too small for a single vector");
+        assert!(
+            payload_cap >= dim * 4,
+            "block too small for a single vector"
+        );
         if device.n_blocks() == 0 {
             device.grow(1)?;
         }
@@ -110,7 +113,9 @@ impl VectorFile {
                 }
                 let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                 if version != VERSION {
-                    return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+                    return Err(StorageError::Corrupt(format!(
+                        "unsupported version {version}"
+                    )));
                 }
                 let dim = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
                 let n_vectors = u64::from_le_bytes(buf[16..24].try_into().unwrap());
@@ -118,7 +123,14 @@ impl VectorFile {
                 let graph_head = u64::from_le_bytes(buf[32..40].try_into().unwrap());
                 let graph_bytes = u64::from_le_bytes(buf[40..48].try_into().unwrap());
                 let free_head = u64::from_le_bytes(buf[48..56].try_into().unwrap());
-                Ok((dim, n_vectors, data_head, graph_head, graph_bytes, free_head))
+                Ok((
+                    dim,
+                    n_vectors,
+                    data_head,
+                    graph_head,
+                    graph_bytes,
+                    free_head,
+                ))
             })?;
         drop(guard);
 
@@ -272,7 +284,11 @@ impl VectorFile {
 
     /// Reads vector `id` into `out`.
     pub fn read_vector(&self, id: u32, out: &mut [f32]) -> Result<()> {
-        assert_eq!(out.len(), self.dim, "output buffer has wrong dimensionality");
+        assert_eq!(
+            out.len(),
+            self.dim,
+            "output buffer has wrong dimensionality"
+        );
         let (block, slot) = {
             let st = self.state.lock();
             if id as u64 >= st.n_vectors {
@@ -282,7 +298,10 @@ impl VectorFile {
                 )));
             }
             let logical = id as usize / self.vectors_per_block;
-            (st.data_blocks[logical], id as usize % self.vectors_per_block)
+            (
+                st.data_blocks[logical],
+                id as usize % self.vectors_per_block,
+            )
         };
         let guard = self.mgr.pin(self.file, block, BlockKind::Data)?;
         guard.read(|buf| {
@@ -304,7 +323,10 @@ impl VectorFile {
                 return Err(StorageError::Corrupt(format!("vector {id} out of range")));
             }
             let logical = id as usize / self.vectors_per_block;
-            (st.data_blocks[logical], id as usize % self.vectors_per_block)
+            (
+                st.data_blocks[logical],
+                id as usize % self.vectors_per_block,
+            )
         };
         let guard = self.mgr.pin(self.file, block, BlockKind::Data)?;
         Ok(guard.read(|buf| {
@@ -458,7 +480,10 @@ mod tests {
         f.write_graph(&graph_b).unwrap();
         assert_eq!(f.read_graph().unwrap().unwrap(), graph_b);
         let blocks_after_b = f.buffer().device(f.file).n_blocks();
-        assert_eq!(blocks_after_a, blocks_after_b, "free list must recycle blocks");
+        assert_eq!(
+            blocks_after_a, blocks_after_b,
+            "free list must recycle blocks"
+        );
     }
 
     #[test]

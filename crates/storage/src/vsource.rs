@@ -45,11 +45,15 @@ impl VectorSource for BufferedVectorSource {
     }
 
     fn load(&self, id: u32, out: &mut [f32]) {
-        self.file.read_vector(id, out).expect("vector read failed mid-search");
+        self.file
+            .read_vector(id, out)
+            .expect("vector read failed mid-search");
     }
 
     fn score(&self, q: &[f32], id: u32) -> f32 {
-        self.file.score(q, id).expect("vector score failed mid-search")
+        self.file
+            .score(q, id)
+            .expect("vector score failed mid-search")
     }
 }
 

@@ -3,9 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use alaya_storage::{
-    BlockDevice, BlockKind, BufferManager, MemDevice, StorageError, VectorFile,
-};
+use alaya_storage::{BlockDevice, BlockKind, BufferManager, MemDevice, StorageError, VectorFile};
 use proptest::prelude::*;
 
 proptest! {
@@ -95,7 +93,10 @@ struct FaultyDevice {
 
 impl FaultyDevice {
     fn new(block_size: usize, reads_allowed: u64) -> Self {
-        Self { inner: MemDevice::new(block_size), reads_left: AtomicU64::new(reads_allowed) }
+        Self {
+            inner: MemDevice::new(block_size),
+            reads_left: AtomicU64::new(reads_allowed),
+        }
     }
 }
 
@@ -107,7 +108,10 @@ impl BlockDevice for FaultyDevice {
         self.inner.n_blocks()
     }
     fn read_block(&self, block: u64, buf: &mut [u8]) -> std::io::Result<()> {
-        if self.reads_left.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1)).is_err()
+        if self
+            .reads_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_err()
         {
             return Err(std::io::Error::other("injected device failure"));
         }
@@ -138,9 +142,8 @@ fn injected_read_failures_surface_cleanly() {
     let mut wrote = 0usize;
     let mut failed = false;
     for i in 0..200 {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            file.append(&[i as f32; 4])
-        })) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| file.append(&[i as f32; 4])))
+        {
             Ok(Ok(_)) => wrote += 1,
             Ok(Err(StorageError::Io(_))) => {
                 failed = true;
@@ -166,7 +169,10 @@ fn pool_survives_device_failure_for_cached_blocks() {
     let a = mgr.pin(fid, 0, BlockKind::Data).unwrap();
     let b = mgr.pin(fid, 1, BlockKind::Data).unwrap();
     // ...then the device dies: new blocks fail...
-    assert!(matches!(mgr.pin(fid, 2, BlockKind::Data), Err(StorageError::Io(_))));
+    assert!(matches!(
+        mgr.pin(fid, 2, BlockKind::Data),
+        Err(StorageError::Io(_))
+    ));
     // ...but cached blocks keep working.
     a.read(|buf| assert_eq!(buf.len(), 256));
     drop(a);

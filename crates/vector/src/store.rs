@@ -6,7 +6,7 @@
 //! cache-friendly access pattern and makes it trivial to hand rows out as
 //! slices to the index builders and attention kernels.
 
-use crate::ops::dot;
+use crate::ops::{dot, dot_many};
 
 /// A growable, row-major matrix of `f32` vectors with fixed dimensionality.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -22,13 +22,19 @@ impl VecStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty store pre-allocating room for `capacity` vectors.
     pub fn with_capacity(dim: usize, capacity: usize) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
-        Self { dim, data: Vec::with_capacity(dim * capacity) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * capacity),
+        }
     }
 
     /// Builds a store from a flat row-major buffer.
@@ -37,7 +43,11 @@ impl VecStore {
     /// Panics if `data.len()` is not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
-        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length must be a multiple of dim"
+        );
         Self { dim, data }
     }
 
@@ -116,6 +126,45 @@ impl VecStore {
         dot(q, self.row(i))
     }
 
+    /// Scores `q` against the contiguous row block `[start, start+out.len())`,
+    /// one inner product per row. Bitwise-identical to per-row
+    /// [`VecStore::dot_row`] calls (see [`dot_many`]); exists so hot scans
+    /// score a cache-resident block per call instead of paying per-key row
+    /// arithmetic and dispatch.
+    ///
+    /// # Panics
+    /// Panics if `start + out.len() > self.len()`.
+    #[inline]
+    pub fn dot_block(&self, q: &[f32], start: usize, out: &mut [f32]) {
+        let end = start + out.len();
+        assert!(end <= self.len(), "row block out of bounds");
+        dot_many(q, &self.data[start * self.dim..end * self.dim], out);
+    }
+
+    /// Scores `q` against an arbitrary gather of rows: `out[i] = q · row(ids[i])`.
+    /// Bitwise-identical to per-row [`VecStore::dot_row`] calls; the batched
+    /// entry point for traversals whose frontier is not contiguous.
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != out.len()` or any id is out of range.
+    #[inline]
+    pub fn dot_ids(&self, q: &[f32], ids: &[u32], out: &mut [f32]) {
+        assert_eq!(ids.len(), out.len(), "one score slot per id required");
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = dot(q, self.row(id as usize));
+        }
+    }
+
+    /// Scores `q` against every row: `out[i] = q · row(i)`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    #[inline]
+    pub fn dot_rows(&self, q: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "one score slot per row required");
+        dot_many(q, &self.data, out);
+    }
+
     /// Truncates the store to the first `n` vectors.
     pub fn truncate(&mut self, n: usize) {
         self.data.truncate(n * self.dim);
@@ -124,7 +173,10 @@ impl VecStore {
     /// Returns a new store holding rows `[0, n)` (a context prefix).
     pub fn prefix(&self, n: usize) -> VecStore {
         assert!(n <= self.len(), "prefix longer than store");
-        VecStore { dim: self.dim, data: self.data[..n * self.dim].to_vec() }
+        VecStore {
+            dim: self.dim,
+            data: self.data[..n * self.dim].to_vec(),
+        }
     }
 
     /// Approximate heap footprint in bytes (used by the memory tracker).
@@ -183,6 +235,41 @@ mod tests {
         let s = VecStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.dot_row(&[2.0, 1.0], 0), 4.0);
         assert_eq!(s.dot_row(&[2.0, 1.0], 1), 10.0);
+    }
+
+    #[test]
+    fn dot_block_and_rows_match_dot_row_bitwise() {
+        let dim = 5;
+        let data: Vec<f32> = (0..dim * 7).map(|i| (i as f32 * 0.31).sin()).collect();
+        let s = VecStore::from_flat(dim, data);
+        let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.77).cos()).collect();
+
+        let mut all = vec![0.0f32; s.len()];
+        s.dot_rows(&q, &mut all);
+        for (i, &a) in all.iter().enumerate() {
+            assert_eq!(a.to_bits(), s.dot_row(&q, i).to_bits(), "row {i}");
+        }
+
+        let mut block = vec![0.0f32; 3];
+        s.dot_block(&q, 2, &mut block);
+        for (j, &b) in block.iter().enumerate() {
+            assert_eq!(b.to_bits(), s.dot_row(&q, 2 + j).to_bits());
+        }
+
+        let ids = [6u32, 0, 4, 4];
+        let mut gathered = vec![0.0f32; ids.len()];
+        s.dot_ids(&q, &ids, &mut gathered);
+        for (&id, &g) in ids.iter().zip(&gathered) {
+            assert_eq!(g.to_bits(), s.dot_row(&q, id as usize).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dot_block_out_of_bounds_panics() {
+        let s = VecStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![0.0f32; 2];
+        s.dot_block(&[1.0, 1.0], 1, &mut out);
     }
 
     #[test]

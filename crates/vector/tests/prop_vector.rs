@@ -1,14 +1,106 @@
 //! Property-based tests for the numeric substrate.
 
 use alaya_vector::softmax::{log_sum_exp, softmax_in_place, OnlineSoftmax};
-use alaya_vector::{dot, top_k_indices, VecStore};
+use alaya_vector::{dot, dot_many, l2_sq, top_k_indices, VecStore, SOFTMAX_REL_TOL};
 use proptest::prelude::*;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-100.0f32..100.0, len)
 }
 
+/// The blocked reduction kernels consume 16-element blocks; exercising
+/// every length `0..=2·16` covers every lane/tail remainder class.
+const KERNEL_BLOCK: usize = 16;
+
 proptest! {
+    /// Blocked `dot` matches a naive left-to-right f64 scalar reference at
+    /// every tail length 0..=2·block. The tolerance is the documented
+    /// re-association bound, scaled by the magnitude of the terms.
+    #[test]
+    fn blocked_dot_matches_naive_all_tail_lengths(seed in 0u64..500) {
+        for n in 0..=2 * KERNEL_BLOCK {
+            let a: Vec<f32> = (0..n)
+                .map(|i| ((seed as f32) * 0.11 + i as f32 * 0.7).sin() * 3.0)
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| ((seed as f32) * 0.05 + i as f32 * 0.4).cos() * 2.0)
+                .collect();
+            let exact: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64) * (*y as f64)).sum();
+            let mag: f64 = a.iter().zip(&b).map(|(x, y)| ((*x as f64) * (*y as f64)).abs()).sum();
+            let got = dot(&a, &b) as f64;
+            prop_assert!(
+                (got - exact).abs() <= 1e-6 * mag.max(1.0),
+                "n={} got={} exact={}", n, got, exact
+            );
+        }
+    }
+
+    /// Blocked `l2_sq` matches the naive f64 reference at every tail length.
+    #[test]
+    fn blocked_l2_sq_matches_naive_all_tail_lengths(seed in 0u64..500) {
+        for n in 0..=2 * KERNEL_BLOCK {
+            let a: Vec<f32> = (0..n)
+                .map(|i| ((seed as f32) * 0.13 + i as f32 * 0.9).sin() * 4.0)
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| ((seed as f32) * 0.07 + i as f32 * 0.6).cos() * 3.0)
+                .collect();
+            let exact: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| {
+                    let d = (*x as f64) - (*y as f64);
+                    d * d
+                })
+                .sum();
+            let got = l2_sq(&a, &b) as f64;
+            prop_assert!(
+                (got - exact).abs() <= 1e-6 * exact.max(1.0),
+                "n={} got={} exact={}", n, got, exact
+            );
+        }
+    }
+
+    /// `dot_many` over a contiguous block is bitwise identical to per-row
+    /// `dot` for arbitrary (dim, rows) shapes.
+    #[test]
+    fn dot_many_bitwise_equals_per_row_dot(
+        d in 0usize..=2 * KERNEL_BLOCK,
+        rows in 0usize..8,
+        seed in 0u64..200,
+    ) {
+        let q: Vec<f32> = (0..d).map(|i| ((seed as f32) + i as f32 * 0.8).sin()).collect();
+        let keys: Vec<f32> =
+            (0..d * rows).map(|i| ((seed as f32) * 0.3 + i as f32 * 0.5).cos()).collect();
+        let mut out = vec![1.23f32; rows];
+        dot_many(&q, &keys, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let want = if d == 0 { 0.0 } else { dot(&q, &keys[i * d..(i + 1) * d]) };
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "d={} row={}", d, i);
+        }
+    }
+
+    /// Fused vectorized softmax stays within its documented per-element
+    /// relative tolerance of an exact f64 softmax, at every tail length.
+    #[test]
+    fn softmax_within_documented_tolerance(seed in 0u64..300) {
+        for n in 1..=2 * KERNEL_BLOCK {
+            let x: Vec<f32> = (0..n)
+                .map(|i| ((seed as f32) * 0.21 + i as f32 * 1.1).sin() * 8.0)
+                .collect();
+            let mut got = x.clone();
+            softmax_in_place(&mut got);
+            let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+            let exps: Vec<f64> = x.iter().map(|&v| ((v as f64) - m).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for (i, (&g, e)) in got.iter().zip(&exps).enumerate() {
+                let want = (e / sum) as f32;
+                let rel = ((g - want) / want.max(1e-30)).abs();
+                prop_assert!(rel < SOFTMAX_REL_TOL, "n={} i={} rel={}", n, i, rel);
+            }
+        }
+    }
+
     /// Softmax output is a probability distribution whenever input is non-empty.
     #[test]
     fn softmax_is_distribution(mut x in prop::collection::vec(-50.0f32..50.0, 1..64)) {

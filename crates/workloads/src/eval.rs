@@ -59,10 +59,18 @@ pub fn instance_context(inst: &TaskInstance, seed: u64, with_graph: bool) -> Hea
         // RoarGraph settings for RetrievalAttention-style workloads).
         ctx.build_graph(
             &train,
-            RoarGraphParams { knn_k: 48, max_degree: 48, ef_construction: 128, ..Default::default() },
+            RoarGraphParams {
+                knn_k: 48,
+                max_degree: 48,
+                ef_construction: 128,
+                ..Default::default()
+            },
         );
     }
-    ctx.build_coarse(64, alaya_index::coarse::BlockScoring::Representatives { reps: 4 });
+    ctx.build_coarse(
+        64,
+        alaya_index::coarse::BlockScoring::Representatives { reps: 4 },
+    );
     ctx
 }
 
@@ -73,7 +81,9 @@ pub fn evaluate_engine(
     n_instances: usize,
     seed: u64,
 ) -> EngineScore {
-    evaluate_engines(&[engine], task, n_instances, seed).pop().expect("one engine")
+    evaluate_engines(&[engine], task, n_instances, seed)
+        .pop()
+        .expect("one engine")
 }
 
 /// Runs several engines over the same instances, building each instance's
@@ -146,16 +156,34 @@ mod tests {
     #[test]
     fn method_ordering_on_a_needle_task() {
         let task = Task::new(TaskKind::RetrPasskey, 1200, 24);
-        let stream =
-            evaluate_engine(&StreamingLlm { window: WindowSpec::new(16, 32) }, &task, 10, 42);
-        let topk =
-            evaluate_engine(&TopKRetrieval { window: WindowSpec::new(16, 32), k: 64, ef: 128 }, &task, 10, 42);
+        let stream = evaluate_engine(
+            &StreamingLlm {
+                window: WindowSpec::new(16, 32),
+            },
+            &task,
+            10,
+            42,
+        );
+        let topk = evaluate_engine(
+            &TopKRetrieval {
+                window: WindowSpec::new(16, 32),
+                k: 64,
+                ef: 128,
+            },
+            &task,
+            10,
+            42,
+        );
         let dipr = evaluate_engine(&dipr_engine(24), &task, 10, 42);
         assert!(stream.accuracy < 50.0, "streaming {}", stream.accuracy);
         assert!(topk.accuracy >= 90.0, "topk {}", topk.accuracy);
         assert!(dipr.accuracy >= 90.0, "dipr {}", dipr.accuracy);
         // Sparse methods attend far less than the context.
-        assert!(dipr.mean_attended < 400.0, "dipr attended {}", dipr.mean_attended);
+        assert!(
+            dipr.mean_attended < 400.0,
+            "dipr attended {}",
+            dipr.mean_attended
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct HeadProfile {
 impl HeadProfile {
     /// A profile with the default band shape.
     pub fn with_critical(n_critical: usize) -> Self {
-        Self { n_critical, band_width: 3.0, bg_sigma: 0.3, band_dominance: 20.0 }
+        Self {
+            n_critical,
+            band_width: 3.0,
+            bg_sigma: 0.3,
+            band_dominance: 20.0,
+        }
     }
 
     /// Mean band logit for a context of `n` tokens: solves
@@ -84,7 +89,11 @@ pub fn synth_head(
     let mut critical_ids: Vec<u32> = Vec::with_capacity(profile.n_critical);
     let stride = span / profile.n_critical.max(1);
     for j in 0..profile.n_critical {
-        let jitter = if stride > 2 { rng.gen_range(0..stride / 2) } else { 0 };
+        let jitter = if stride > 2 {
+            rng.gen_range(0..stride / 2)
+        } else {
+            0
+        };
         critical_ids.push((lo + (j * stride.max(1) + jitter) % span) as u32);
     }
     critical_ids.sort_unstable();

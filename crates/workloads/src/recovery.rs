@@ -14,7 +14,9 @@ pub fn recovery_ratio(keys: &VecStore, q: &[f32], scale: f32, selected: &[u32]) 
         return 0.0;
     }
     // Stable: subtract the global max logit.
-    let logits: Vec<f32> = (0..keys.len()).map(|i| keys.dot_row(q, i) * scale).collect();
+    let logits: Vec<f32> = (0..keys.len())
+        .map(|i| keys.dot_row(q, i) * scale)
+        .collect();
     let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let total: f64 = logits.iter().map(|&z| ((z - m) as f64).exp()).sum();
     let mut seen = vec![false; keys.len()];
@@ -36,7 +38,9 @@ pub fn tokens_for_recovery(keys: &VecStore, q: &[f32], scale: f32, ratio: f64) -
     if keys.is_empty() {
         return 0;
     }
-    let mut logits: Vec<f32> = (0..keys.len()).map(|i| keys.dot_row(q, i) * scale).collect();
+    let mut logits: Vec<f32> = (0..keys.len())
+        .map(|i| keys.dot_row(q, i) * scale)
+        .collect();
     logits.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
     let m = logits[0];
     let total: f64 = logits.iter().map(|&z| ((z - m) as f64).exp()).sum();

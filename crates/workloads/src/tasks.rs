@@ -265,7 +265,11 @@ pub struct Task {
 impl Task {
     /// Creates a task with explicit geometry.
     pub fn new(kind: TaskKind, context_len: usize, dim: usize) -> Self {
-        Self { kind, context_len, dim }
+        Self {
+            kind,
+            context_len,
+            dim,
+        }
     }
 
     /// Reference answer-band size `m` (Table 3's `k` column for LongBench
@@ -355,35 +359,34 @@ impl Task {
         let total_band = m_answer + p.competitors * m_comp;
         let center = ((20.0 * n as f32) / total_band.max(1) as f32).ln();
 
-        let plant =
-            |keys: &mut VecStore,
-             values: &mut VecStore,
-             ids: &[u32],
-             top_logit: f32,
-             width: f32,
-             signature: Option<&[f32]>,
-             rng: &mut rand_chacha::ChaCha8Rng| {
-                for &id in ids.iter() {
-                    // i.i.d. logits within the band: a fixed-k selection
-                    // across same-level bands becomes a noisy subsample.
-                    let target = top_logit - width * rng.gen::<f32>();
-                    let row = keys.row_mut(id as usize);
-                    let cur = dot(row, &q);
-                    for (kd, qd) in row.iter_mut().zip(&q) {
-                        *kd += (target * sqrt_d - cur) * qd;
-                    }
-                    let vrow = values.row_mut(id as usize);
-                    match signature {
-                        Some(sig) => {
-                            let noise = gaussian_vec(rng, sig.len(), 0.15);
-                            for ((vd, sd), nd) in vrow.iter_mut().zip(sig).zip(&noise) {
-                                *vd = sd + nd;
-                            }
-                        }
-                        None => vrow.fill(0.0), // neutral (salient decoy)
-                    }
+        let plant = |keys: &mut VecStore,
+                     values: &mut VecStore,
+                     ids: &[u32],
+                     top_logit: f32,
+                     width: f32,
+                     signature: Option<&[f32]>,
+                     rng: &mut rand_chacha::ChaCha8Rng| {
+            for &id in ids.iter() {
+                // i.i.d. logits within the band: a fixed-k selection
+                // across same-level bands becomes a noisy subsample.
+                let target = top_logit - width * rng.gen::<f32>();
+                let row = keys.row_mut(id as usize);
+                let cur = dot(row, &q);
+                for (kd, qd) in row.iter_mut().zip(&q) {
+                    *kd += (target * sqrt_d - cur) * qd;
                 }
-            };
+                let vrow = values.row_mut(id as usize);
+                match signature {
+                    Some(sig) => {
+                        let noise = gaussian_vec(rng, sig.len(), 0.15);
+                        for ((vd, sd), nd) in vrow.iter_mut().zip(sig).zip(&noise) {
+                            *vd = sd + nd;
+                        }
+                    }
+                    None => vrow.fill(0.0), // neutral (salient decoy)
+                }
+            }
+        };
 
         // Band widths: Vote tasks need wide i.i.d. bands (sampling noise
         // is their failure mode); Deep tasks need tight bands so small
@@ -403,7 +406,15 @@ impl Task {
         };
         let answer_ids = take(m_answer);
         let answer_sig = candidates[answer].clone();
-        plant(&mut keys, &mut values, &answer_ids, answer_top, answer_w, Some(&answer_sig), &mut rng);
+        plant(
+            &mut keys,
+            &mut values,
+            &answer_ids,
+            answer_top,
+            answer_w,
+            Some(&answer_sig),
+            &mut rng,
+        );
 
         // Competitor bands: `competitor_gap` below the answer for Needle,
         // at the surface otherwise.
@@ -416,13 +427,29 @@ impl Task {
             let wrong = (answer + 1 + c) % p.candidates;
             let ids = take(m_comp);
             let sig = candidates[wrong].clone();
-            plant(&mut keys, &mut values, &ids, comp_top, comp_w, Some(&sig), &mut rng);
+            plant(
+                &mut keys,
+                &mut values,
+                &ids,
+                comp_top,
+                comp_w,
+                Some(&sig),
+                &mut rng,
+            );
             competitor_ids.extend(ids);
         }
 
         // Salient decoys: above every band, neutral values.
         let salient_ids = take(p.salient);
-        plant(&mut keys, &mut values, &salient_ids, surface_top + 1.0, 0.2, None, &mut rng);
+        plant(
+            &mut keys,
+            &mut values,
+            &salient_ids,
+            surface_top + 1.0,
+            0.2,
+            None,
+            &mut rng,
+        );
 
         TaskInstance {
             keys,
@@ -517,7 +544,11 @@ mod tests {
             // Retr.KV is calibrated hard — the paper's *full attention*
             // scores only 15.8/100 on the real task. Everything else should
             // be near-ceiling under full attention.
-            let floor = if kind == TaskKind::RetrKv { trials / 2 } else { trials - 1 };
+            let floor = if kind == TaskKind::RetrKv {
+                trials / 2
+            } else {
+                trials - 1
+            };
             assert!(
                 correct >= floor,
                 "{}: full attention only {correct}/{trials}",
@@ -563,7 +594,10 @@ mod tests {
                 WindowSpec::new(16, 32),
                 &inst.critical_ids,
             );
-            assert!(inst.is_correct(&out.out), "instance {i} failed with its band retrieved");
+            assert!(
+                inst.is_correct(&out.out),
+                "instance {i} failed with its band retrieved"
+            );
         }
     }
 
@@ -614,7 +648,10 @@ mod tests {
                 small_correct += 1;
             }
         }
-        assert!(full_correct >= trials - 2, "full bands: {full_correct}/{trials}");
+        assert!(
+            full_correct >= trials - 2,
+            "full bands: {full_correct}/{trials}"
+        );
         assert!(
             small_correct < full_correct,
             "under-retrieval should hurt: {small_correct} vs {full_correct}"
@@ -644,7 +681,12 @@ mod tests {
             (TaskKind::TriviaQa, 20),
         ];
         for (kind, k) in expect {
-            assert_eq!(Task::new(kind, 10_000, 32).reference_m(), k, "{}", kind.name());
+            assert_eq!(
+                Task::new(kind, 10_000, 32).reference_m(),
+                k,
+                "{}",
+                kind.name()
+            );
         }
     }
 

@@ -59,8 +59,11 @@ fn main() {
     }
 
     // --- Online: analysts ask questions against the stored corpus -----
-    let questions =
-        ["Summarize revenue growth.", "Any audit qualifications?", "Top cost drivers?"];
+    let questions = [
+        "Summarize revenue growth.",
+        "Any audit qualifications?",
+        "Top cost drivers?",
+    ];
     for q in questions {
         let mut prompt = tok.encode_prompt(&docs[0]);
         prompt.extend(tok.encode(q));

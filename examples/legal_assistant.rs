@@ -57,8 +57,14 @@ fn main() {
     );
     // The shared prefix covers the statutes (plus the few bytes of "USER "
     // boilerplate both conversations begin their turns with).
-    assert!(session.reused_len() >= corpus.len(), "the shared statutes must be reused");
-    assert!(session.reused_len() < user_a_session.len(), "user A's questions must not leak");
+    assert!(
+        session.reused_len() >= corpus.len(),
+        "the shared statutes must be reused"
+    );
+    assert!(
+        session.reused_len() < user_a_session.len(),
+        "user A's questions must not leak"
+    );
 
     let answer = model.generate(&truncated, 16, &mut session);
     println!("answer tokens: {:?}", tok.decode(&answer));
@@ -81,6 +87,9 @@ fn main() {
         println!("matches from-scratch recomputation exactly");
     } else {
         let agree = want.iter().zip(&answer).take_while(|(a, b)| a == b).count();
-        println!("agrees with recomputation for {agree}/{} tokens (sparse plan)", want.len());
+        println!(
+            "agrees with recomputation for {agree}/{} tokens (sparse plan)",
+            want.len()
+        );
     }
 }

@@ -38,7 +38,11 @@ fn main() {
 
     // Store the session: prompt + generation become a reusable context.
     let ctx_id = db.store(&session);
-    println!("stored context {:?} ({} tokens)", ctx_id, db.context(ctx_id).unwrap().len());
+    println!(
+        "stored context {:?} ({} tokens)",
+        ctx_id,
+        db.context(ctx_id).unwrap().len()
+    );
 
     // A follow-up prompt reuses the stored prefix: the engine only
     // prefills the truncated suffix.

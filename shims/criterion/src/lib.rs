@@ -20,12 +20,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a parameter, like criterion's.
     pub fn new(function_id: impl ToString, parameter: impl ToString) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.to_string(), parameter.to_string()) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.to_string(), parameter.to_string()),
+        }
     }
 
     /// An id carrying only a parameter value.
     pub fn from_parameter(parameter: impl ToString) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -68,6 +72,25 @@ impl Default for Settings {
     }
 }
 
+impl Settings {
+    /// Settings actually used for a run: with `ALAYA_BENCH_QUICK` set in
+    /// the environment, every benchmark is clamped to a smoke-test budget
+    /// (2 samples, ~10 ms) regardless of per-bench configuration — CI uses
+    /// this to type-check and execute each bench without paying for
+    /// statistics.
+    fn effective(self) -> Settings {
+        if std::env::var_os("ALAYA_BENCH_QUICK").is_some() {
+            Settings {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(10),
+                warm_up_time: Duration::from_millis(1),
+            }
+        } else {
+            self
+        }
+    }
+}
+
 /// The benchmark manager.
 #[derive(Clone, Debug, Default)]
 pub struct Criterion {
@@ -105,7 +128,12 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let settings = self.settings;
-        BenchmarkGroup { _parent: self, name: name.into(), settings, throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+        }
     }
 }
 
@@ -157,7 +185,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&self.settings, &full, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        run_one(
+            &self.settings,
+            &full,
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -215,7 +248,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     f: &mut F,
 ) {
-    let mut b = Bencher { settings: *settings, result_ns: f64::NAN };
+    let mut b = Bencher {
+        settings: settings.effective(),
+        result_ns: f64::NAN,
+    };
     f(&mut b);
     let ns = b.result_ns;
     let rate = match throughput {
@@ -262,6 +298,23 @@ macro_rules! criterion_main {
 mod tests {
     use super::{BenchmarkId, Criterion, Throughput};
     use std::time::Duration;
+
+    #[test]
+    fn quick_env_clamps_settings() {
+        std::env::set_var("ALAYA_BENCH_QUICK", "1");
+        let eff = super::Settings {
+            sample_size: 1000,
+            measurement_time: Duration::from_secs(600),
+            warm_up_time: Duration::from_secs(60),
+        }
+        .effective();
+        let mut c = Criterion::default().sample_size(1000);
+        c.bench_function("quick", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("ALAYA_BENCH_QUICK");
+        assert_eq!(eff.sample_size, 2);
+        assert_eq!(eff.measurement_time, Duration::from_millis(10));
+        assert_eq!(eff.warm_up_time, Duration::from_millis(1));
+    }
 
     #[test]
     fn harness_runs_and_reports() {

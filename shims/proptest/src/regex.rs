@@ -17,7 +17,10 @@ enum Atom {
     /// A fixed char.
     Literal(char),
     /// One-of: explicit chars plus inclusive ranges.
-    Class { chars: Vec<char>, ranges: Vec<(char, char)> },
+    Class {
+        chars: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -34,59 +37,63 @@ fn parse(pattern: &str) -> Vec<Piece> {
     let mut chars = pattern.chars().peekable();
     let mut pieces = Vec::new();
     while let Some(c) = chars.next() {
-        let atom = match c {
-            '.' => Atom::AnyChar,
-            '\\' => escaped_atom(chars.next().unwrap_or_else(|| {
-                panic!("proptest shim: dangling `\\` in regex {pattern:?}")
-            })),
-            '[' => {
-                let mut class_chars = Vec::new();
-                let mut ranges = Vec::new();
-                let mut prev: Option<char> = None;
-                loop {
-                    match chars.next() {
-                        None => panic!("proptest shim: unterminated `[` in regex {pattern:?}"),
-                        Some(']') => break,
-                        Some('^') if prev.is_none() && class_chars.is_empty() => {
-                            panic!(
+        let atom =
+            match c {
+                '.' => Atom::AnyChar,
+                '\\' => escaped_atom(chars.next().unwrap_or_else(|| {
+                    panic!("proptest shim: dangling `\\` in regex {pattern:?}")
+                })),
+                '[' => {
+                    let mut class_chars = Vec::new();
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => panic!("proptest shim: unterminated `[` in regex {pattern:?}"),
+                            Some(']') => break,
+                            Some('^') if prev.is_none() && class_chars.is_empty() => {
+                                panic!(
                                 "proptest shim: negated classes unsupported in regex {pattern:?}"
                             )
-                        }
-                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
-                            let lo = prev.take().unwrap();
-                            class_chars.pop();
-                            let hi = chars.next().unwrap();
-                            ranges.push((lo, hi));
-                        }
-                        Some('\\') => {
-                            let e = chars.next().unwrap_or_else(|| {
-                                panic!("proptest shim: dangling `\\` in regex {pattern:?}")
-                            });
-                            let lit = match e {
-                                'n' => '\n',
-                                't' => '\t',
-                                'r' => '\r',
-                                other => other,
-                            };
-                            class_chars.push(lit);
-                            prev = Some(lit);
-                        }
-                        Some(other) => {
-                            class_chars.push(other);
-                            prev = Some(other);
+                            }
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                class_chars.pop();
+                                let hi = chars.next().unwrap();
+                                ranges.push((lo, hi));
+                            }
+                            Some('\\') => {
+                                let e = chars.next().unwrap_or_else(|| {
+                                    panic!("proptest shim: dangling `\\` in regex {pattern:?}")
+                                });
+                                let lit = match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    'r' => '\r',
+                                    other => other,
+                                };
+                                class_chars.push(lit);
+                                prev = Some(lit);
+                            }
+                            Some(other) => {
+                                class_chars.push(other);
+                                prev = Some(other);
+                            }
                         }
                     }
+                    Atom::Class {
+                        chars: class_chars,
+                        ranges,
+                    }
                 }
-                Atom::Class { chars: class_chars, ranges }
-            }
-            '(' | ')' | '|' | '^' | '$' => {
-                panic!(
-                    "proptest shim: regex feature `{c}` unsupported in {pattern:?}; \
+                '(' | ')' | '|' | '^' | '$' => {
+                    panic!(
+                        "proptest shim: regex feature `{c}` unsupported in {pattern:?}; \
                      extend shims/proptest/src/regex.rs"
-                )
-            }
-            lit => Atom::Literal(lit),
-        };
+                    )
+                }
+                lit => Atom::Literal(lit),
+            };
 
         let (min, max) = match chars.peek() {
             Some('?') => {
@@ -142,12 +149,18 @@ fn escaped_atom(c: char) -> Atom {
         'n' => Atom::Literal('\n'),
         't' => Atom::Literal('\t'),
         'r' => Atom::Literal('\r'),
-        'd' => Atom::Class { chars: vec![], ranges: vec![('0', '9')] },
+        'd' => Atom::Class {
+            chars: vec![],
+            ranges: vec![('0', '9')],
+        },
         'w' => Atom::Class {
             chars: vec!['_'],
             ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9')],
         },
-        's' => Atom::Class { chars: vec![' ', '\t', '\n'], ranges: vec![] },
+        's' => Atom::Class {
+            chars: vec![' ', '\t', '\n'],
+            ranges: vec![],
+        },
         other => Atom::Literal(other),
     }
 }
@@ -176,7 +189,10 @@ fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
         Atom::AnyChar => gen_char(rng),
         Atom::Literal(c) => *c,
         Atom::Class { chars, ranges } => {
-            let range_total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let range_total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let total = chars.len() as u32 + range_total;
             assert!(total > 0, "proptest shim: empty character class");
             let mut pick = rng.gen_range(0..total);
@@ -240,7 +256,10 @@ mod tests {
             assert_eq!(it.next(), Some('x'));
             let rest: String = it.collect();
             let rest = rest.strip_suffix('z').unwrap_or(&rest);
-            assert!(!rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()), "{s}");
+            assert!(
+                !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()),
+                "{s}"
+            );
         }
     }
 

@@ -41,7 +41,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive draws: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
     }
 }
 
@@ -221,9 +228,8 @@ mod tests {
     #[test]
     fn ranges_tuples_vecs_compose() {
         let mut rng = TestRng::deterministic("strategy::compose", 0);
-        let s = (1usize..4, -1.0f32..1.0).prop_flat_map(|(n, x)| {
-            collection_vec(-2.0f32..2.0, n * 2).prop_map(move |v| (v, x))
-        });
+        let s = (1usize..4, -1.0f32..1.0)
+            .prop_flat_map(|(n, x)| collection_vec(-2.0f32..2.0, n * 2).prop_map(move |v| (v, x)));
         for _ in 0..200 {
             let (v, x) = s.generate(&mut rng);
             assert!(v.len() >= 2 && v.len() <= 6 && v.len() % 2 == 0);

@@ -40,7 +40,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng(ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 32 | 0x0A1A_7ADB)))
+        TestRng(ChaCha8Rng::seed_from_u64(
+            h ^ ((case as u64) << 32 | 0x0A1A_7ADB),
+        ))
     }
 }
 

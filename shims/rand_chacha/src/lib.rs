@@ -78,7 +78,12 @@ macro_rules! chacha_rng {
                     b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
                     *w = u32::from_le_bytes(b);
                 }
-                let mut rng = $name { key, counter: 0, buf: [0u32; 16], pos: 16 };
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buf: [0u32; 16],
+                    pos: 16,
+                };
                 rng.refill();
                 rng
             }

@@ -84,7 +84,11 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
                 "serde shim derive does not support tuple struct `{name}`"
             ));
         }
-        other => return Err(format!("expected `{{ ... }}` body for `{name}`, found {other:?}")),
+        other => {
+            return Err(format!(
+                "expected `{{ ... }}` body for `{name}`, found {other:?}"
+            ))
+        }
     };
     let body: Vec<TokenTree> = body.into_iter().collect();
 
@@ -223,5 +227,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = match parsed {
         Input::Struct { name, .. } | Input::Enum { name, .. } => name,
     };
-    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
 }

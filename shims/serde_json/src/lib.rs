@@ -122,7 +122,10 @@ mod tests {
     fn pretty_object() {
         let v = Value::Object(vec![
             ("a".into(), Value::UInt(1)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
         ]);
         let s = super::to_string_pretty(&v).unwrap();
         assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}");

@@ -38,14 +38,24 @@ fn diprs_over_vector_file_system_matches_memory() {
     assert_eq!(loaded, graph);
 
     let disk = BufferedVectorSource::new(Arc::new(file));
-    let params = DiprsParams { beta: 2.0, l0: 32, max_visits: usize::MAX };
+    let params = DiprsParams {
+        beta: 2.0,
+        l0: 32,
+        max_visits: usize::MAX,
+    };
     let q = gaussian_store(&mut rng, 1, dim, 1.0);
     let mem_res = diprs(&graph, &keys, q.row(0), &params, None);
     let disk_res = diprs(&loaded, &disk, q.row(0), &params, None);
     let mem_ids: Vec<usize> = mem_res.tokens.iter().map(|t| t.idx).collect();
     let disk_ids: Vec<usize> = disk_res.tokens.iter().map(|t| t.idx).collect();
-    assert_eq!(mem_ids, disk_ids, "storage backend must not change the query answer");
-    assert!(disk.file().buffer().stats().evictions() > 0, "the tiny pool must have evicted");
+    assert_eq!(
+        mem_ids, disk_ids,
+        "storage backend must not change the query answer"
+    );
+    assert!(
+        disk.file().buffer().stats().evictions() > 0,
+        "the tiny pool must have evicted"
+    );
 }
 
 /// Workloads → attention: DIPRS beats fixed top-k on a task whose
@@ -65,12 +75,20 @@ fn diprs_engine_beats_small_topk_on_deep_task() {
         },
         window_seeding: true,
     };
-    let top50 = alayadb::attention::TopKRetrieval { window, k: 50, ef: 100 };
+    let top50 = alayadb::attention::TopKRetrieval {
+        window,
+        k: 50,
+        ef: 100,
+    };
 
     let d = evaluate_engine(&diprs_engine, &task, 8, 3);
     let t = evaluate_engine(&top50, &task, 8, 3);
     let f = evaluate_engine(&FullAttention, &task, 8, 3);
-    assert!(f.accuracy >= 87.0, "full attention reference: {}", f.accuracy);
+    assert!(
+        f.accuracy >= 87.0,
+        "full attention reference: {}",
+        f.accuracy
+    );
     assert!(
         d.accuracy > t.accuracy,
         "DIPRS ({}) must beat Top-50 ({}) on deep-evidence tasks",
@@ -94,9 +112,7 @@ fn plans_shift_with_gpu_budget_and_stay_correct() {
     full_prompt.extend(question);
     let want = model.prefill(&full_prompt, 0, &mut reference);
 
-    for (budget, expect_plan) in
-        [(u64::MAX, "TopK"), (0u64, "DIPR")]
-    {
+    for (budget, expect_plan) in [(u64::MAX, "TopK"), (0u64, "DIPR")] {
         let mut db_cfg = DbConfig::for_tests(model_cfg.clone());
         db_cfg.optimizer.short_context_threshold = 32;
         db_cfg.optimizer.default_beta = 1e9; // exact sparse plans
@@ -120,7 +136,10 @@ fn plans_shift_with_gpu_budget_and_stay_correct() {
             .zip(&got)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_err < 0.2, "budget {budget}: logits diverged by {max_err}");
+        assert!(
+            max_err < 0.2,
+            "budget {budget}: logits diverged by {max_err}"
+        );
     }
 }
 
@@ -152,10 +171,9 @@ fn full_lifecycle_with_index_spill() {
     }
     if let Some(g) = stored.graph(1, 0) {
         file.write_graph(&g.to_bytes()).unwrap();
-        let back = alayadb::index::graph::NeighborGraph::from_bytes(
-            &file.read_graph().unwrap().unwrap(),
-        )
-        .unwrap();
+        let back =
+            alayadb::index::graph::NeighborGraph::from_bytes(&file.read_graph().unwrap().unwrap())
+                .unwrap();
         assert_eq!(&back, g);
     }
     let disk = BufferedVectorSource::new(Arc::new(file));
@@ -224,7 +242,11 @@ fn session_update_attention_store_round_trip() {
 
             let want = reference.attend(
                 layer,
-                alayadb::llm::StepInput { queries: queries.clone(), keys, values },
+                alayadb::llm::StepInput {
+                    queries: queries.clone(),
+                    keys,
+                    values,
+                },
             );
             for (o, w) in out.iter().zip(&want) {
                 for (a, b) in o.iter().zip(w) {
@@ -237,7 +259,10 @@ fn session_update_attention_store_round_trip() {
         }
         assert_eq!(session.seq_len(0), step + 1);
     }
-    assert!(!session.plan_log().is_empty(), "attention must have logged a plan");
+    assert!(
+        !session.plan_log().is_empty(),
+        "attention must have logged a plan"
+    );
 
     // Late materialization: store the session and check the stored KV is
     // byte-for-byte the session's full KV on every head.
@@ -311,7 +336,11 @@ fn scheduler_update_attention_store_round_trip() {
 
             let want = reference.attend(
                 layer,
-                alayadb::llm::StepInput { queries: queries.clone(), keys, values },
+                alayadb::llm::StepInput {
+                    queries: queries.clone(),
+                    keys,
+                    values,
+                },
             );
             for (o, w) in out.iter().zip(&want) {
                 for (a, b) in o.iter().zip(w) {
@@ -365,7 +394,11 @@ fn gpu_memory_ordering_across_architectures() {
     let full = FullAttention.gpu_bytes(n, kv_per_token);
     let diprs = DiprsAttention {
         window: WindowSpec::paper_default(),
-        params: DiprsParams { beta: 50.0, l0: 64, max_visits: usize::MAX },
+        params: DiprsParams {
+            beta: 50.0,
+            l0: 64,
+            max_visits: usize::MAX,
+        },
         window_seeding: true,
     }
     .gpu_bytes(n, kv_per_token);
