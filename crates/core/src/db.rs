@@ -1,13 +1,40 @@
 //! The `DB` abstraction: the manager of all stored contexts (Table 2).
+//!
+//! # Canonical lock order
+//!
+//! Threads that nest lock acquisitions involving the DB must follow the
+//! workspace-wide order (outermost first), which the `lock-tracing` CI
+//! lane enforces dynamically via the shim's acquisition-order graph:
+//!
+//! ```text
+//! serve.sessions → serve.session → serve.growth
+//!                → core.db.contexts → core.db.store_state
+//!                → device.pool.* / storage.*          (leaves)
+//! ```
+//!
+//! Concretely for this module: `core.db.contexts` may be taken while a
+//! session lock is held (`ServeEngine::store_background` snapshots under
+//! the session lock and reserves the [`ContextId`] under the contexts
+//! write lock). The background publish task is stricter than the order
+//! above requires: it computes the final [`StoreState`] *under* the
+//! contexts write lock but drops that guard before taking
+//! `core.db.store_state`, so the two locks are never held together at all
+//! (the tracing shim's acquisition graph shows no edge between them —
+//! `tests/lock_tracing.rs` pins this down). Nothing may take a session or
+//! contexts lock while holding the store-state lock ([`StoreHandle::wait`]
+//! holds it only around the condvar). Scheduler context lookups
+//! ([`Db::context`], [`Db::create_session`]) hold `core.db.contexts` alone
+//! and release it before any attention runs, so publication by
+//! [`Db::store_background`] can never order-invert against them.
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 use alaya_device::memory::MemoryTracker;
 use alaya_llm::kv::KvCache;
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::config::DbConfig;
 use crate::session::Session;
@@ -56,7 +83,7 @@ impl Db {
         cfg.model.validate();
         Self {
             cfg,
-            contexts: RwLock::new(ContextTable::default()),
+            contexts: RwLock::new_named(ContextTable::default(), "core.db.contexts"),
             next_id: AtomicU64::new(0),
         }
     }
@@ -235,7 +262,7 @@ impl Db {
         };
 
         let shared = Arc::new(StoreShared {
-            state: Mutex::new(StoreState::Pending),
+            state: Mutex::new_named(StoreState::Pending, "core.db.store_state"),
             cv: Condvar::new(),
         });
         let db = Arc::clone(self);
@@ -259,7 +286,7 @@ impl Db {
                     Err(payload) => StoreState::Failed(panic_message(payload.as_ref())),
                 }
             };
-            *task_shared.state.lock().unwrap() = state;
+            *task_shared.state.lock() = state;
             task_shared.cv.notify_all();
         });
 
@@ -345,16 +372,16 @@ impl StoreHandle {
 
     /// Whether the build has finished (successfully or not) — never blocks.
     pub fn is_finished(&self) -> bool {
-        !matches!(*self.shared.state.lock().unwrap(), StoreState::Pending)
+        !matches!(*self.shared.state.lock(), StoreState::Pending)
     }
 
     /// Blocks until the context is published; returns its id, or the build
     /// panic's message.
     pub fn wait(&self) -> Result<ContextId, String> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock();
         loop {
             match &*state {
-                StoreState::Pending => state = self.shared.cv.wait(state).unwrap(),
+                StoreState::Pending => self.shared.cv.wait(&mut state),
                 StoreState::Ready => return Ok(self.id),
                 StoreState::Failed(msg) => return Err(msg.clone()),
             }

@@ -89,19 +89,30 @@ pub fn load_context(dir: &Path, cfg: &DbConfig) -> Result<StoredContext, Storage
     if manifest.len() < 36 || &manifest[0..8] != MANIFEST_MAGIC {
         return Err(StorageError::Corrupt("bad context manifest".into()));
     }
-    let read_u32 =
-        |off: usize| u32::from_le_bytes(manifest[off..off + 4].try_into().unwrap()) as usize;
-    let id = ContextId(u64::from_le_bytes(manifest[8..16].try_into().unwrap()));
+    // Bounds were checked above (and re-checked for the token region), so
+    // these array reads are infallible — no `unwrap` on `try_into` needed.
+    let read_u32 = |off: usize| {
+        u32::from_le_bytes([
+            manifest[off],
+            manifest[off + 1],
+            manifest[off + 2],
+            manifest[off + 3],
+        ]) as usize
+    };
+    let read_u64 = |off: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&manifest[off..off + 8]);
+        u64::from_le_bytes(b)
+    };
+    let id = ContextId(read_u64(8));
     let n_layers = read_u32(16);
     let n_heads = read_u32(20);
     let head_dim = read_u32(24);
-    let n_tokens = u64::from_le_bytes(manifest[28..36].try_into().unwrap()) as usize;
+    let n_tokens = read_u64(28) as usize;
     if manifest.len() < 36 + n_tokens * 4 {
         return Err(StorageError::Corrupt("truncated token sequence".into()));
     }
-    let tokens: Vec<u32> = (0..n_tokens)
-        .map(|i| u32::from_le_bytes(manifest[36 + i * 4..40 + i * 4].try_into().unwrap()))
-        .collect();
+    let tokens: Vec<u32> = (0..n_tokens).map(|i| read_u32(36 + i * 4) as u32).collect();
 
     let pool = BufferManager::new(256);
     let mut kv = KvCache::new(n_layers, n_heads, head_dim);

@@ -30,8 +30,10 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
 
 /// A queued unit of work, tagged with the scope that spawned it (`0` for
 /// detached [`WorkStealingPool::execute`] tasks) so a scope owner helping
@@ -62,7 +64,7 @@ impl Shared {
     /// Pops a task for `worker`: own deque first, then the injector, then
     /// steals from the other workers.
     fn find_task(&self, worker: usize) -> Option<Task> {
-        if let Some(t) = self.queues[worker].lock().unwrap().pop_back() {
+        if let Some(t) = self.queues[worker].lock().pop_back() {
             return Some(t);
         }
         self.find_stolen(worker)
@@ -73,7 +75,7 @@ impl Shared {
         let n = self.queues.len();
         for off in 1..=n {
             let victim = (worker + off) % n;
-            if let Some(t) = self.queues[victim].lock().unwrap().pop_front() {
+            if let Some(t) = self.queues[victim].lock().pop_front() {
                 return Some(t);
             }
         }
@@ -84,7 +86,7 @@ impl Shared {
     /// entry point for scope owners, which must not pick up unrelated work.
     fn find_scope_task(&self, scope: usize) -> Option<Task> {
         for q in &self.queues {
-            let mut q = q.lock().unwrap();
+            let mut q = q.lock();
             if let Some(pos) = q.iter().position(|t| t.scope == scope) {
                 return q.remove(pos);
             }
@@ -94,7 +96,7 @@ impl Shared {
 
     fn push(&self, task: Task) {
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        self.queues[slot].lock().unwrap().push_back(task);
+        self.queues[slot].lock().push_back(task);
         // Only touch the parking lock when a worker might actually be
         // asleep; while the pool is busy this keeps submissions to one
         // deque lock. Sound because a worker registers in `idle_workers`
@@ -103,7 +105,7 @@ impl Shared {
         if self.idle_workers.load(Ordering::SeqCst) > 0 {
             // Lock the parking mutex so the notify cannot race a worker
             // that re-checked the queues and is about to wait.
-            let _g = self.idle.lock().unwrap();
+            let _g = self.idle.lock();
             self.wake.notify_one();
         }
     }
@@ -125,7 +127,7 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
             run_task(task);
             continue;
         }
-        let guard = shared.idle.lock().unwrap();
+        let guard = shared.idle.lock();
         if shared.shutdown.load(Ordering::Acquire) {
             drop(guard);
             // Final drain: every submission happened-before shutdown (Drop
@@ -153,10 +155,8 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
         // wakeup, so this only bounds recovery from a hypothetical bug and
         // keeps idle workers of the immortal global pool from burning CPU
         // on frequent re-polls.
-        let (guard, _) = shared
-            .wake
-            .wait_timeout(guard, Duration::from_millis(500))
-            .unwrap();
+        let mut guard = guard;
+        let _ = shared.wake.wait_for(&mut guard, Duration::from_millis(500));
         shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
     }
@@ -179,8 +179,10 @@ impl WorkStealingPool {
             threads
         };
         let shared = Arc::new(Shared {
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            idle: Mutex::new(()),
+            queues: (0..threads)
+                .map(|_| Mutex::new_named(VecDeque::new(), "device.pool.queue"))
+                .collect(),
+            idle: Mutex::new_named((), "device.pool.idle"),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next: AtomicUsize::new(0),
@@ -224,7 +226,7 @@ impl WorkStealingPool {
         let state = Arc::new(ScopeState {
             remaining: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
-            done: Mutex::new(()),
+            done: Mutex::new_named((), "device.pool.scope_done"),
             cv: Condvar::new(),
         });
         let scope = Scope {
@@ -248,14 +250,11 @@ impl WorkStealingPool {
                 run_task(task);
                 continue;
             }
-            let guard = state.done.lock().unwrap();
+            let mut guard = state.done.lock();
             if state.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
-            let _ = state
-                .cv
-                .wait_timeout(guard, Duration::from_millis(1))
-                .unwrap();
+            let _ = state.cv.wait_for(&mut guard, Duration::from_millis(1));
         }
 
         match result {
@@ -323,7 +322,7 @@ impl Drop for WorkStealingPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _g = self.shared.idle.lock().unwrap();
+            let _g = self.shared.idle.lock();
             self.shared.wake.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -358,11 +357,18 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         self.state.remaining.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
-        // SAFETY: `scope` does not return (even on unwind) until
-        // `remaining` reaches zero, i.e. until this task has run to
-        // completion — so the `'env` borrows inside the closure outlive the
-        // task. The transmute only erases the lifetime bound of the trait
-        // object; layout is unchanged.
+        // SAFETY: lifetime extension justified by the scoped-execution
+        // invariant: `WorkStealingPool::scope` does not return — on the
+        // normal path *or* on unwind (its waiting loop runs under
+        // `catch_unwind` and re-checks `remaining` before every exit) —
+        // until `remaining` reaches zero, and `remaining` was incremented
+        // above *before* this task was queued and is decremented only by
+        // the task's completion wrapper below, after the closure has run
+        // to completion or panicked. So every `'env` borrow inside the
+        // closure strictly outlives the task's execution, on every worker
+        // and on the helping owner alike. The transmute erases only the
+        // lifetime bound of the trait object; the vtable and layout are
+        // unchanged.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
                 task,
@@ -376,7 +382,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                     state.panicked.store(true, Ordering::Release);
                 }
                 if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let _g = state.done.lock().unwrap();
+                    let _g = state.done.lock();
                     state.cv.notify_all();
                 }
             }),

@@ -1,0 +1,219 @@
+//! The allowlist: `alaya-lint.allow` at the workspace root.
+//!
+//! Line format (hand-parsed, no external deps):
+//!
+//! ```text
+//! rule=<rule-id> file=<workspace/relative/path.rs> match="<line substring>" reason="<why this is sound>"
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. An entry suppresses a
+//! finding when the rule and file match exactly and `match` is a substring
+//! of the offending source line — pinning to code, not line numbers, so
+//! unrelated edits don't invalidate entries. `reason` is mandatory: an
+//! allowlist entry is a reviewed claim, not an escape hatch. Entries that
+//! suppress nothing are *stale* and fail the lint, so the list ratchets
+//! down as code is cleaned up.
+
+use std::path::Path;
+
+use crate::rules::Finding;
+
+/// One parsed allowlist entry.
+pub struct Entry {
+    /// 1-based line in the allowlist file (for stale-entry reports).
+    pub line: usize,
+    pub rule: String,
+    pub file: String,
+    pub pattern: String,
+    #[allow(dead_code)] // justification is for the human reviewer
+    pub reason: String,
+}
+
+/// Parses `key=value` pairs where a value is either bare (no spaces) or
+/// double-quoted (may contain spaces; `\"` escapes a quote).
+fn parse_pairs(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        let key_start = i;
+        while i < chars.len() && chars[i] != '=' {
+            if chars[i].is_whitespace() {
+                return Err(format!("expected `=` after `{}`", &line[key_start..i]));
+            }
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err("trailing key without `=`".to_string());
+        }
+        let key: String = chars[key_start..i].iter().collect();
+        i += 1; // skip '='
+        let value = if chars.get(i) == Some(&'"') {
+            i += 1;
+            let mut v = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(format!("unterminated quote in value of `{key}`")),
+                    Some('\\') if chars.get(i + 1) == Some(&'"') => {
+                        v.push('"');
+                        i += 2;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        v.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            v
+        } else {
+            let start = i;
+            while i < chars.len() && !chars[i].is_whitespace() {
+                i += 1;
+            }
+            chars[start..i].iter().collect()
+        };
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+fn parse_entry(line_no: usize, line: &str) -> Result<Entry, String> {
+    let mut rule = None;
+    let mut file = None;
+    let mut pattern = None;
+    let mut reason = None;
+    for (key, value) in parse_pairs(line).map_err(|e| format!("line {line_no}: {e}"))? {
+        let slot = match key.as_str() {
+            "rule" => &mut rule,
+            "file" => &mut file,
+            "match" => &mut pattern,
+            "reason" => &mut reason,
+            other => return Err(format!("line {line_no}: unknown key `{other}`")),
+        };
+        if slot.replace(value).is_some() {
+            return Err(format!("line {line_no}: duplicate key `{key}`"));
+        }
+    }
+    let require = |name: &str, v: Option<String>| {
+        v.filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("line {line_no}: missing or empty `{name}`"))
+    };
+    Ok(Entry {
+        line: line_no,
+        rule: require("rule", rule)?,
+        file: require("file", file)?,
+        pattern: require("match", pattern)?,
+        reason: require("reason", reason)?,
+    })
+}
+
+/// Loads the allowlist. A missing file is an empty allowlist.
+pub fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        entries.push(parse_entry(i + 1, line).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    Ok(entries)
+}
+
+/// Splits `findings` into (kept, stale-entries): a finding suppressed by
+/// any matching entry is dropped; entries that suppressed nothing come
+/// back as stale.
+pub fn apply(entries: &[Entry], findings: Vec<Finding>) -> (Vec<Finding>, Vec<&Entry>) {
+    let mut used = vec![false; entries.len()];
+    let kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            let mut suppressed = false;
+            for (e, used) in entries.iter().zip(used.iter_mut()) {
+                if e.rule == f.rule && e.file == f.file && f.excerpt.contains(&e.pattern) {
+                    *used = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e)
+        .collect();
+    (kept, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn quoted_values_and_suppression() {
+        let e = parse_entry(
+            1,
+            r#"rule=no-unwrap-hot-path file=crates/a/src/b.rs match=".expect(\"x y\")" reason="startup only""#,
+        )
+        .unwrap();
+        assert_eq!(e.pattern, ".expect(\"x y\")");
+        let entries = [e];
+        let (kept, stale) = apply(
+            &entries,
+            vec![
+                finding(
+                    "no-unwrap-hot-path",
+                    "crates/a/src/b.rs",
+                    "z.expect(\"x y\");",
+                ),
+                finding("no-unwrap-hot-path", "crates/a/src/b.rs", "other.unwrap();"),
+            ],
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].excerpt, "other.unwrap();");
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_stale() {
+        let entries = [parse_entry(1, r#"rule=r file=f.rs match="nope" reason="r""#).unwrap()];
+        let (kept, stale) = apply(&entries, vec![finding("r", "f.rs", "something else")]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_entry(1, "rule=x file=y").is_err(), "missing keys");
+        assert!(parse_entry(1, "rule=x rule=y").is_err(), "duplicate");
+        assert!(parse_entry(1, r#"bogus=z"#).is_err(), "unknown key");
+        assert!(parse_entry(1, r#"rule="unterminated"#).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! `alaya-lint`: the workspace's source-level invariant checker.
+//!
+//! Deny-by-default: every finding must be fixed or carry an entry in
+//! `alaya-lint.allow` at the workspace root with a written justification.
+//! Stale allowlist entries (matching nothing) are themselves errors, so
+//! the allowlist can only shrink ratchet-style as code is cleaned up.
+//!
+//! Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p alaya-lint            # lints the workspace
+//! cargo run -p alaya-lint -- <root>  # lints an explicit tree
+//! ```
+//!
+//! Exit status: `0` clean, `1` findings or stale allowlist entries,
+//! `2` usage/environment errors.
+
+mod allow;
+mod rules;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "related"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_root() -> Option<PathBuf> {
+    if let Some(arg) = std::env::args().nth(1) {
+        return Some(PathBuf::from(arg));
+    }
+    // Compiled into the binary: crates/lint → two levels up is the root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent()?.parent().map(Path::to_path_buf)
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("alaya-lint: cannot determine the workspace root");
+        return ExitCode::from(2);
+    };
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "alaya-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    // The trees the invariants govern. Shims are deliberately out of
+    // scope: they emulate external crates and carry their own tests.
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("alaya-lint: unreadable file {}", path.display());
+            return ExitCode::from(2);
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        findings.extend(rules::check(&scan::analyze(&rel, &text)));
+    }
+
+    let allow_path = root.join("alaya-lint.allow");
+    let entries = match allow::load(&allow_path) {
+        Ok(entries) => entries,
+        Err(msg) => {
+            eprintln!("alaya-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (kept, stale) = allow::apply(&entries, findings);
+
+    let mut failed = false;
+    for f in &kept {
+        failed = true;
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        println!("    {}", f.excerpt);
+    }
+    for e in &stale {
+        failed = true;
+        println!(
+            "{}:{}: stale allowlist entry (rule={} file={} match=\"{}\") — matched no finding; remove it",
+            allow_path.display(),
+            e.line,
+            e.rule,
+            e.file,
+            e.pattern
+        );
+    }
+    if failed {
+        println!(
+            "alaya-lint: FAILED — {} finding(s), {} stale allowlist entr(ies) over {} files",
+            kept.len(),
+            stale.len(),
+            scanned
+        );
+        ExitCode::from(1)
+    } else {
+        println!(
+            "alaya-lint: OK — {} files, 0 findings ({} allowlisted)",
+            scanned,
+            entries.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

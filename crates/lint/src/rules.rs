@@ -1,0 +1,354 @@
+//! The deny-by-default invariants. Each rule walks the blanked source
+//! model from [`crate::scan`] and yields findings; anything it flags must
+//! either be fixed or carry a justified entry in `alaya-lint.allow`.
+
+use crate::scan::SourceFile;
+
+/// One rule violation.
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (stable; the allowlist keys on it).
+    pub rule: &'static str,
+    /// Human message.
+    pub message: String,
+    /// The offending source line, as written (trimmed) — allowlist
+    /// entries match on a substring of this, so they pin to the code, not
+    /// to a line number.
+    pub excerpt: String,
+}
+
+/// Runs every rule over `file`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    unsafe_safety_comment(file, &mut out);
+    thread_spawn_outside_pool(file, &mut out);
+    no_unwrap_hot_path(file, &mut out);
+    guard_across_pool_call(file, &mut out);
+    time_in_kernel(file, &mut out);
+    out
+}
+
+fn finding(file: &SourceFile, i: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.rel_path.clone(),
+        line: i + 1,
+        rule,
+        message,
+        excerpt: file.lines[i].raw.trim().to_string(),
+    }
+}
+
+/// Does `code` contain `word` as a standalone token (not part of a longer
+/// identifier)?
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// How many lines above an `unsafe` block the `// SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 10;
+
+/// Every `unsafe` block or fn must be introduced by a `SAFETY:` comment:
+/// either within the preceding few lines, or anywhere in the contiguous
+/// run of comment-only lines sitting directly above the `unsafe` line
+/// (so a long justification does not outgrow the window).
+fn unsafe_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        let lo = i.saturating_sub(SAFETY_LOOKBACK);
+        let mut documented = file.lines[lo..=i]
+            .iter()
+            .any(|l| l.comment.contains("SAFETY:"));
+        let mut j = i;
+        while !documented && j > 0 {
+            j -= 1;
+            let above = &file.lines[j];
+            if !above.code.trim().is_empty() {
+                break;
+            }
+            documented = above.comment.contains("SAFETY:");
+        }
+        if !documented {
+            out.push(finding(
+                file,
+                i,
+                "unsafe-safety-comment",
+                format!(
+                    "`unsafe` without a `// SAFETY:` comment within the {SAFETY_LOOKBACK} preceding lines"
+                ),
+            ));
+        }
+    }
+}
+
+/// All thread creation goes through the device pool; ad-hoc threads dodge
+/// the pool's sizing, naming and lock-tracing discipline.
+fn thread_spawn_outside_pool(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.rel_path.starts_with("crates/") || file.rel_path == "crates/device/src/pool.rs" {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("thread::spawn") || line.code.contains("thread::Builder") {
+            out.push(finding(
+                file,
+                i,
+                "thread-spawn-outside-pool",
+                "raw thread creation outside alaya_device::pool".to_string(),
+            ));
+        }
+    }
+}
+
+/// Crates whose non-test code must not panic on fallible paths: the
+/// serving stack answers requests with typed errors; a stray `.unwrap()`
+/// aborts a co-batched tenant's request or a whole worker.
+const NO_PANIC_CRATES: [&str; 3] = [
+    "crates/serve/src/",
+    "crates/core/src/",
+    "crates/device/src/",
+];
+
+fn no_unwrap_hot_path(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !NO_PANIC_CRATES.iter().any(|p| file.rel_path.starts_with(p)) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pat, what) in [
+            (".unwrap()", ".unwrap()"),
+            (".expect(", ".expect(..)"),
+            ("panic!(", "panic!"),
+        ] {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    file,
+                    i,
+                    "no-unwrap-hot-path",
+                    format!("{what} in non-test serving/core/device code"),
+                ));
+            }
+        }
+    }
+}
+
+/// Call fragments that hand work to the pool or run attention; holding a
+/// lock guard across them risks deadlock (pool workers may need the same
+/// lock) and serializes the batch.
+const POOL_CALLS: [&str; 7] = [
+    "pool.execute(",
+    "pool.scope(",
+    "pool.map(",
+    "pool.map_bounded(",
+    "global().execute(",
+    "global().map_bounded(",
+    ".attention(",
+];
+
+/// Heuristic, lexical: a `let` binding whose initializer takes a lock (or
+/// whose declared type names a guard) must not stay live across a pool
+/// submission or attention call. Scope is brace-matched from the binding;
+/// an explicit `drop(name)` ends it early.
+fn guard_across_pool_call(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.rel_path.starts_with("crates/") || !file.rel_path.contains("/src/") {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let Some(let_pos) = code.find("let ") else {
+            continue;
+        };
+        let rest = &code[let_pos + 4..];
+        let takes_lock = [".lock()", ".read()", ".write()"]
+            .iter()
+            .any(|p| rest.contains(p));
+        let guard_type = rest.contains("Guard");
+        if !takes_lock && !guard_type {
+            continue;
+        }
+        let name = rest
+            .trim_start()
+            .trim_start_matches("mut ")
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if name.is_empty() || name == "_" {
+            continue;
+        }
+        // Walk to the end of the binding's scope (brace depth below the
+        // declaration level) or to `drop(name)`.
+        let mut depth: i32 = 0;
+        let drop_marker = format!("drop({name})");
+        for (j, later) in file.lines.iter().enumerate().skip(i) {
+            let scan_from = if j == i { let_pos } else { 0 };
+            if j > i && later.code.contains(&drop_marker) {
+                break;
+            }
+            if POOL_CALLS.iter().any(|p| later.code.contains(p)) {
+                out.push(finding(
+                    file,
+                    i,
+                    "guard-across-pool-call",
+                    format!(
+                        "lock guard `{name}` is live across a pool/attention call at line {}",
+                        j + 1
+                    ),
+                ));
+                break;
+            }
+            for c in later.code[scan_from..].chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth < 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Kernel crates must stay clock-free: timing belongs to the harnesses
+/// (workloads, bench), not inside the math the paper measures.
+const KERNEL_CRATES: [&str; 2] = ["crates/vector/src/", "crates/attention/src/"];
+
+fn time_in_kernel(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !KERNEL_CRATES.iter().any(|p| file.rel_path.starts_with(p)) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    file,
+                    i,
+                    "time-in-kernel",
+                    format!("{pat} inside a kernel crate"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::analyze;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        check(&analyze(path, src))
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_safety_comment_clears_it() {
+        let bad = findings("crates/x/src/a.rs", "fn f() { unsafe { g(); } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "unsafe-safety-comment");
+        let good = findings(
+            "crates/x/src/a.rs",
+            "// SAFETY: g has no preconditions.\nfn f() { unsafe { g(); } }\n",
+        );
+        assert!(good.is_empty());
+        // `unsafe` in a string or comment is not a block.
+        let masked = findings(
+            "crates/x/src/a.rs",
+            "let s = \"unsafe\"; // unsafe mentioned\n",
+        );
+        assert!(masked.is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_is_flagged_outside_pool_and_tests() {
+        let bad = findings("crates/x/src/a.rs", "let h = std::thread::spawn(|| 1);\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "thread-spawn-outside-pool");
+        let pool = findings(
+            "crates/device/src/pool.rs",
+            "let h = std::thread::spawn(|| 1);\n",
+        );
+        assert!(pool.iter().all(|f| f.rule != "thread-spawn-outside-pool"));
+        let test = findings(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { std::thread::spawn(|| 1); }\n}\n",
+        );
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_is_scoped_to_the_serving_stack() {
+        let bad = findings("crates/serve/src/a.rs", "x.unwrap();\ny.expect(\"m\");\n");
+        assert_eq!(bad.len(), 2);
+        assert!(bad.iter().all(|f| f.rule == "no-unwrap-hot-path"));
+        let elsewhere = findings("crates/workloads/src/a.rs", "x.unwrap();\n");
+        assert!(elsewhere.is_empty());
+    }
+
+    #[test]
+    fn guard_across_pool_call_is_brace_and_drop_aware() {
+        let bad = findings(
+            "crates/x/src/a.rs",
+            "fn f() {\n let g = m.lock();\n pool.scope(|s| {});\n}\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "guard-across-pool-call");
+        // Guard scoped to an inner block that closes first: fine.
+        let scoped = findings(
+            "crates/x/src/a.rs",
+            "fn f() {\n { let g = m.lock(); use_it(&g); }\n pool.scope(|s| {});\n}\n",
+        );
+        assert!(scoped.is_empty());
+        // Explicit drop before the call: fine.
+        let dropped = findings(
+            "crates/x/src/a.rs",
+            "fn f() {\n let g = m.lock();\n drop(g);\n pool.scope(|s| {});\n}\n",
+        );
+        assert!(dropped.is_empty());
+        // Declared guard type without a visible .lock() also counts.
+        let typed = findings(
+            "crates/x/src/a.rs",
+            "fn f() {\n let g: MutexGuard<'_, T> = slot.lock_it();\n pool.execute(|| {});\n}\n",
+        );
+        assert_eq!(typed.len(), 1);
+    }
+
+    #[test]
+    fn kernel_crates_must_not_read_clocks() {
+        let bad = findings("crates/vector/src/a.rs", "let t = Instant::now();\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "time-in-kernel");
+        let harness = findings("crates/workloads/src/a.rs", "let t = Instant::now();\n");
+        assert!(harness.is_empty());
+    }
+}

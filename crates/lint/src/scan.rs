@@ -1,0 +1,350 @@
+//! The source model: a hand-rolled lexical pass that strips Rust source
+//! down to what the rules need, with **no external dependencies**.
+//!
+//! For each line we keep:
+//!
+//! * `code` — the line with comment text and string/char-literal *contents*
+//!   blanked to spaces (the delimiters stay, so column positions and brace
+//!   structure survive). Rules match against this, so `"thread::spawn"`
+//!   inside a string or a doc comment can never trip a rule.
+//! * `comment` — the text of any `//`/`/* */` comment on the line, so the
+//!   `SAFETY:` convention can be checked.
+//! * `in_test` — whether the line sits inside a `#[cfg(test)] mod { .. }`
+//!   region (brace-matched) or the whole file is test scope (`tests/`,
+//!   `benches/` directories).
+//!
+//! The lexer understands nested block comments, raw strings (`r"..."`,
+//! `r#"..."#`, `br#"..."#`), escapes, and the lifetime-vs-char-literal
+//! ambiguity (`'a` vs `'a'`).
+
+/// One analyzed source line.
+pub struct Line {
+    /// The line exactly as written (allowlist matching, excerpts).
+    pub raw: String,
+    /// Code with comment/string contents blanked (delimiters preserved).
+    pub code: String,
+    /// Comment text appearing on this line (concatenated, without `//`).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` module, or the file itself is test scope.
+    pub in_test: bool,
+}
+
+/// A fully analyzed file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes `text` into per-line code/comment views.
+fn lex(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw string: r"..", r#".."#, br".." etc.
+                    // Only treat as one when not part of an identifier.
+                    let prev_ident = code
+                        .chars()
+                        .last()
+                        .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                    let mut j = i;
+                    if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    let mut k = j + 1;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if !prev_ident && chars.get(j) == Some(&'r') && chars.get(k) == Some(&'"') {
+                        for _ in i..=k {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = k + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) or char literal (`'a'` / `'\n'`)?
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) => chars.get(i + 2) == Some(&'\'') || !is_ident_char(n),
+                        None => false,
+                    };
+                    code.push('\'');
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(k) == Some(&'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        mode = Mode::Code;
+                        i = k;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push((code, comment));
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines inside `#[cfg(test)] mod <name> { ... }` regions. Works on
+/// the blanked code, so braces in strings/comments cannot skew matching.
+fn mark_test_regions(lines: &mut [Line]) {
+    let n = lines.len();
+    let mut i = 0;
+    while i < n {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the `mod` introducing the region (attributes and doc
+            // lines may intervene) and its opening brace.
+            let mut j = i;
+            let mut found = None;
+            while j < n && j <= i + 5 {
+                if lines[j]
+                    .code
+                    .split_whitespace()
+                    .any(|tok| tok == "mod" || tok.starts_with("mod"))
+                {
+                    found = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = found {
+                let mut depth: i32 = 0;
+                let mut opened = false;
+                let mut k = start;
+                while k < n {
+                    for c in lines[k].code.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    lines[k].in_test = true;
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                lines[i..start].iter_mut().for_each(|l| l.in_test = true);
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Analyzes one file's text.
+pub fn analyze(rel_path: &str, text: &str) -> SourceFile {
+    let whole_file_test = rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.starts_with("tests/")
+        || rel_path.starts_with("benches/");
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let mut lines: Vec<Line> = lex(text)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (code, comment))| Line {
+            raw: raw_lines.get(i).copied().unwrap_or("").to_string(),
+            code,
+            comment,
+            in_test: whole_file_test,
+        })
+        .collect();
+    if !whole_file_test {
+        mark_test_regions(&mut lines);
+    }
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = analyze(
+            "crates/x/src/a.rs",
+            "let a = \"thread::spawn\"; // thread::spawn here\nlet b = 1;\n",
+        );
+        assert!(!f.lines[0].code.contains("thread::spawn"));
+        assert!(f.lines[0].comment.contains("thread::spawn"));
+        assert!(f.lines[0].code.contains("let a = \""));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let src = "let r = r#\"unsafe { }\"#;\n/* outer /* unsafe */ still comment */ let x = 2;\n";
+        let f = analyze("crates/x/src/a.rs", src);
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(!f.lines[1].code.contains("unsafe"));
+        assert!(f.lines[1].code.contains("let x = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = analyze(
+            "crates/x/src/a.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x'; let n = '\\n'; let u = unsafe_tail;\n",
+        );
+        assert!(f.lines[0].code.contains("&'a str"), "{}", f.lines[0].code);
+        assert!(!f.lines[1].code.contains('x'), "{}", f.lines[1].code);
+        assert!(f.lines[1].code.contains("unsafe_tail"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_brace_matched() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = analyze("crates/x/src/a.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn tests_directory_is_whole_file_test_scope() {
+        let f = analyze("crates/x/tests/a.rs", "fn t() { x.unwrap(); }\n");
+        assert!(f.lines[0].in_test);
+    }
+}

@@ -9,8 +9,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
 
 use alaya_core::stored::ContextId;
 use alaya_core::{Db, StoreHandle};
@@ -93,7 +95,7 @@ impl ServeEngine {
         Self {
             db,
             admission,
-            sessions: RwLock::new(HashMap::new()),
+            sessions: RwLock::new_named(HashMap::new(), "serve.sessions"),
             next_id: AtomicU64::new(0),
             core,
             scheduler: Some(scheduler),
@@ -119,7 +121,7 @@ impl ServeEngine {
 
     /// Sessions currently admitted.
     pub fn n_sessions(&self) -> usize {
-        self.sessions.read().unwrap().len()
+        self.sessions.read().len()
     }
 
     /// Admits a session for `prompt`: reserves its device bytes first
@@ -132,15 +134,18 @@ impl ServeEngine {
         let slot = Arc::new(SessionSlot {
             base_ctx: session.base().map(|b| b.id),
             reused_len: session.reused_len(),
-            session: Mutex::new(session),
+            session: Mutex::new_named(session, "serve.session"),
             _reservation: Some(reservation),
-            growth: Mutex::new(ReservationGrowth {
-                covered_tokens: self.reserve_tokens,
-                guards: Vec::new(),
-            }),
+            growth: Mutex::new_named(
+                ReservationGrowth {
+                    covered_tokens: self.reserve_tokens,
+                    guards: Vec::new(),
+                },
+                "serve.growth",
+            ),
         });
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.sessions.write().unwrap().insert(id, slot);
+        self.sessions.write().insert(id, slot);
         Ok((id, truncated))
     }
 
@@ -176,7 +181,6 @@ impl ServeEngine {
     fn slot(&self, id: SessionId) -> Result<Arc<SessionSlot>, ServeError> {
         self.sessions
             .read()
-            .unwrap()
             .get(&id)
             .cloned()
             .ok_or(ServeError::UnknownSession(id))
@@ -207,7 +211,7 @@ impl ServeEngine {
         let mut session = slot.lock();
         let local_after = session.seq_len(layer) + 1 - slot.reused_len;
         {
-            let mut growth = slot.growth.lock().unwrap();
+            let mut growth = slot.growth.lock();
             if local_after > growth.covered_tokens {
                 let chunk = self.reserve_tokens;
                 let guard = self
@@ -321,7 +325,6 @@ impl ServeEngine {
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
         self.sessions
             .write()
-            .unwrap()
             .remove(&id)
             .map(|_| ())
             .ok_or(ServeError::UnknownSession(id))
@@ -344,7 +347,7 @@ impl Drop for ServeEngine {
         // lock, so an unlocked notify could fire between its check and its
         // wait and be lost, deadlocking this join.
         {
-            let _q = self.core.queue.lock().unwrap();
+            let _q = self.core.queue.lock();
             self.core.cv.notify_all();
         }
         if let Some(h) = self.scheduler.take() {

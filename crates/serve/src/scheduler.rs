@@ -28,7 +28,9 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use alaya_core::session::PARALLEL_MIN_TOKENS;
 use alaya_core::stored::ContextId;
@@ -140,17 +142,15 @@ pub(crate) struct ReservationGrowth {
 }
 
 impl SessionSlot {
-    /// Locks the session, recovering from poisoning. Sound because every
-    /// lock holder either only reads the session (execution is `&Session`)
-    /// or appends whole entries (`update`, `note_plan`, `note_tokens`) —
-    /// a batch that panicked while holding the lock (e.g. on a malformed
-    /// co-batched request) never leaves the session half-mutated, so
-    /// innocent tenants sharing that batch must not be bricked by the
-    /// poison flag.
+    /// Locks the session. The `parking_lot` lock has no poisoning, which
+    /// is exactly the semantics the batch path needs: every lock holder
+    /// either only reads the session (execution is `&Session`) or appends
+    /// whole entries (`update`, `note_plan`, `note_tokens`) — a batch that
+    /// panicked while holding the lock (e.g. on a malformed co-batched
+    /// request) never leaves the session half-mutated, so innocent tenants
+    /// sharing that batch must not be bricked by a poison flag.
     pub(crate) fn lock(&self) -> MutexGuard<'_, Session> {
-        self.session
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.session.lock()
     }
 }
 
@@ -212,7 +212,7 @@ pub(crate) struct SchedulerCore {
 impl SchedulerCore {
     pub(crate) fn new(pool: Arc<WorkStealingPool>) -> Self {
         Self {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new_named(VecDeque::new(), "serve.sched.queue"),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: StatsCells::default(),
@@ -221,7 +221,7 @@ impl SchedulerCore {
     }
 
     pub(crate) fn enqueue(&self, p: Pending) {
-        self.queue.lock().unwrap().push_back(p);
+        self.queue.lock().push_back(p);
         self.cv.notify_one();
     }
 }
@@ -232,7 +232,7 @@ impl SchedulerCore {
 pub(crate) fn run(core: Arc<SchedulerCore>) {
     loop {
         let batch: Vec<Pending> = {
-            let mut q = core.queue.lock().unwrap();
+            let mut q = core.queue.lock();
             loop {
                 if !q.is_empty() {
                     break q.drain(..).collect();
@@ -240,7 +240,7 @@ pub(crate) fn run(core: Arc<SchedulerCore>) {
                 if core.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                q = core.cv.wait(q).unwrap();
+                core.cv.wait(&mut q);
             }
         };
         // A panicking batch (e.g. a malformed request whose head task
@@ -349,13 +349,19 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     }
     drop(guards);
 
-    for (p, out) in batch.iter().zip(outputs) {
+    for (p, out) in batch.into_iter().zip(outputs) {
         let result: Vec<Vec<f32>> = out
             .into_iter()
             .map(|o| o.expect("head task filled its slot"))
             .collect();
+        let Pending { slot, reply, .. } = p;
+        // Release the slot *before* replying: a caller that receives this
+        // reply may immediately `close` the session and expect its
+        // admission reservation back — the scheduler must not keep the
+        // slot (and thus the reservation) alive past the reply.
+        drop(slot);
         // A dropped receiver means the caller gave up; nothing to do.
-        let _ = p.reply.send(Ok(result));
+        let _ = reply.send(Ok(result));
     }
 }
 
@@ -372,7 +378,7 @@ mod tests {
         Arc::new(SessionSlot {
             base_ctx: session.base().map(|b| b.id),
             reused_len: session.reused_len(),
-            session: Mutex::new(session),
+            session: Mutex::new_named(session, "serve.session"),
             _reservation: None,
             growth: Mutex::new(ReservationGrowth {
                 covered_tokens: usize::MAX,
@@ -443,9 +449,9 @@ mod tests {
         assert_eq!(out1, out3);
 
         // And each equals the sequential single-caller path, bitwise.
-        let want1 = s1.session.lock().unwrap().attention_sequential(&queries, 1);
+        let want1 = s1.session.lock().attention_sequential(&queries, 1);
         assert_eq!(out1, want1);
-        let want4 = s1.session.lock().unwrap().attention_sequential(&queries, 0);
+        let want4 = s1.session.lock().attention_sequential(&queries, 0);
         assert_eq!(out4, want4);
     }
 
@@ -457,7 +463,7 @@ mod tests {
         let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
         let slot = slot_for(&db, &[1, 2, 3]);
         {
-            let mut s = slot.session.lock().unwrap();
+            let mut s = slot.session.lock();
             let q = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_q_heads];
             let kv = vec![vec![0.25; model_cfg.head_dim]; model_cfg.n_kv_heads];
             s.update(&q, &kv, &kv, 0);
@@ -540,7 +546,7 @@ mod tests {
 
         core.shutdown.store(true, Ordering::Release);
         {
-            let _q = core.queue.lock().unwrap();
+            let _q = core.queue.lock();
             core.cv.notify_all();
         }
         sched.join().unwrap();

@@ -131,8 +131,8 @@ impl BufferManager {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         Arc::new(Self {
             capacity,
-            devices: RwLock::new(Vec::new()),
-            table: Mutex::new(HashMap::with_capacity(capacity)),
+            devices: RwLock::new_named(Vec::new(), "storage.buffer.devices"),
+            table: Mutex::new_named(HashMap::with_capacity(capacity), "storage.buffer.table"),
             stats: BufferStats::default(),
             tick: AtomicU64::new(0),
         })
@@ -192,7 +192,7 @@ impl BufferManager {
             file,
             block,
             kind,
-            data: RwLock::new(buf),
+            data: RwLock::new_named(buf, "storage.buffer.frame"),
             pins: AtomicU32::new(1),
             dirty: AtomicBool::new(false),
             last_used: AtomicU64::new(0),

@@ -129,7 +129,7 @@ impl MemDevice {
     /// Creates an empty in-memory device.
     pub fn new(block_size: usize) -> Self {
         Self {
-            blocks: RwLock::new(Vec::new()),
+            blocks: RwLock::new_named(Vec::new(), "storage.device.blocks"),
             block_size,
         }
     }

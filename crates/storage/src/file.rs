@@ -82,14 +82,17 @@ impl VectorFile {
             block_size,
             payload_cap,
             vectors_per_block: payload_cap / (dim * 4),
-            state: Mutex::new(FileState {
-                n_vectors: 0,
-                data_blocks: Vec::new(),
-                data_tail: NIL,
-                graph_head: NIL,
-                graph_bytes: 0,
-                free_head: NIL,
-            }),
+            state: Mutex::new_named(
+                FileState {
+                    n_vectors: 0,
+                    data_blocks: Vec::new(),
+                    data_tail: NIL,
+                    graph_head: NIL,
+                    graph_bytes: 0,
+                    free_head: NIL,
+                },
+                "storage.file.state",
+            ),
         };
         vf.write_super(&vf.state.lock())?;
         Ok(vf)
@@ -166,14 +169,17 @@ impl VectorFile {
             block_size,
             payload_cap,
             vectors_per_block,
-            state: Mutex::new(FileState {
-                n_vectors,
-                data_blocks,
-                data_tail,
-                graph_head,
-                graph_bytes,
-                free_head,
-            }),
+            state: Mutex::new_named(
+                FileState {
+                    n_vectors,
+                    data_blocks,
+                    data_tail,
+                    graph_head,
+                    graph_bytes,
+                    free_head,
+                },
+                "storage.file.state",
+            ),
         })
     }
 

@@ -1,0 +1,357 @@
+//! Lock-order and hold-pattern instrumentation (see the crate docs).
+//!
+//! The runtime state is three pieces:
+//!
+//! * a **site registry** mapping the `&'static str` names passed to
+//!   `new_named` onto small integer ids (one id per distinct name, shared
+//!   by every lock instance created with it);
+//! * a **thread-local held stack** of `(site, token)` pairs, pushed on
+//!   every successful acquisition and removed (by token, so out-of-order
+//!   guard drops are fine) on release;
+//! * a **global acquisition-order graph** over named sites, grown on the
+//!   first observation of each `held → acquired` pair. Adding an edge that
+//!   would close a cycle panics with both orders' backtraces — the graph
+//!   is therefore acyclic at all times, and a full test run that stays
+//!   panic-free certifies every *observed* acquisition order is globally
+//!   consistent (the dynamic half of lockdep).
+//!
+//! All internal state uses `std::sync` primitives directly, never the
+//! shim's own `Mutex`, so instrumentation cannot recurse into itself.
+
+use std::backtrace::Backtrace;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Site id for locks created without a name: tracked on the held stack and
+/// by the would-block detector, excluded from the order graph.
+const UNNAMED: usize = usize::MAX;
+
+/// A blocking acquisition attempted while the thread already held at least
+/// one lock — the hold pattern that makes ordering matter at all.
+#[derive(Clone, Debug)]
+pub struct WouldBlockEvent {
+    /// Name of the thread that would have blocked.
+    pub thread: String,
+    /// Sites held at that moment (innermost last; `<unnamed>` for locks
+    /// without a site name).
+    pub held: Vec<String>,
+    /// The site the thread was trying to acquire.
+    pub wanted: String,
+}
+
+impl fmt::Display for WouldBlockEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread '{}' would block on '{}' while holding [{}]",
+            self.thread,
+            self.wanted,
+            self.held.join(", ")
+        )
+    }
+}
+
+/// Where an order edge was first observed.
+struct EdgeInfo {
+    thread: String,
+    backtrace: String,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Site id (1-based index) → name.
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, usize>,
+    /// `(held, acquired)` → first observation.
+    edges: HashMap<(usize, usize), EdgeInfo>,
+    /// Adjacency of the edge set, for cycle checks.
+    adj: HashMap<usize, Vec<usize>>,
+    would_block: Vec<WouldBlockEvent>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    static STRICT_NO_BLOCK: Cell<bool> = const { Cell::new(false) };
+}
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Resolves (and caches) the site id for `name`. `cache` holds `0` until
+/// first use; names are interned globally so every lock instance sharing a
+/// name shares a site.
+pub(crate) fn resolve_site(cache: &AtomicUsize, name: &'static str) -> usize {
+    match cache.load(Ordering::Relaxed) {
+        0 => {
+            let id = if name.is_empty() {
+                UNNAMED
+            } else {
+                let mut reg = registry();
+                match reg.by_name.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        reg.names.push(name);
+                        let id = reg.names.len();
+                        reg.by_name.insert(name, id);
+                        id
+                    }
+                }
+            };
+            cache.store(id, Ordering::Relaxed);
+            id
+        }
+        id => id,
+    }
+}
+
+fn site_name(reg: &Registry, site: usize) -> String {
+    if site == UNNAMED {
+        "<unnamed>".to_string()
+    } else {
+        reg.names[site - 1].to_string()
+    }
+}
+
+fn thread_name() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("<unnamed thread>")
+        .to_string()
+}
+
+/// Records a successful acquisition: order-checks `site` against every
+/// currently held named site, then pushes it onto the held stack.
+/// Returns the token the matching [`on_released`] must pass back.
+///
+/// # Panics
+/// Panics if the acquisition order inverts an order already in the graph.
+pub(crate) fn on_acquired(site: usize) -> u64 {
+    if site != UNNAMED {
+        let mut held: Vec<usize> = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|&s| s != UNNAMED && s != site)
+                .collect()
+        });
+        held.sort_unstable();
+        held.dedup();
+        if !held.is_empty() {
+            record_edges(&held, site);
+        }
+    }
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    HELD.with(|h| h.borrow_mut().push((site, token)));
+    token
+}
+
+/// Removes the acquisition identified by `token` from the held stack.
+pub(crate) fn on_released(token: u64) {
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(i) = h.iter().rposition(|&(_, t)| t == token) {
+            h.remove(i);
+        }
+    });
+}
+
+/// Records a blocking acquisition attempted with locks already held.
+pub(crate) fn on_would_block(site: usize) {
+    let held: Vec<usize> = HELD.with(|h| h.borrow().iter().map(|&(s, _)| s).collect());
+    if held.is_empty() {
+        return;
+    }
+    let strict = STRICT_NO_BLOCK.with(|s| s.get());
+    let mut reg = registry();
+    let ev = WouldBlockEvent {
+        thread: thread_name(),
+        held: held.iter().map(|&s| site_name(&reg, s)).collect(),
+        wanted: site_name(&reg, site),
+    };
+    if strict {
+        drop(reg);
+        panic!("forbidden blocking acquisition: {ev}");
+    }
+    reg.would_block.push(ev);
+}
+
+/// Adds `held → acquiring` edges, panicking on any order inversion.
+fn record_edges(held: &[usize], acquiring: usize) {
+    let mut reg = registry();
+    for &h in held {
+        if reg.edges.contains_key(&(h, acquiring)) {
+            continue;
+        }
+        if let Some(path) = find_path(&reg.adj, acquiring, h) {
+            let msg = inversion_message(&reg, &path, h, acquiring);
+            drop(reg);
+            panic!("{msg}");
+        }
+        reg.edges.insert(
+            (h, acquiring),
+            EdgeInfo {
+                thread: thread_name(),
+                backtrace: Backtrace::force_capture().to_string(),
+            },
+        );
+        reg.adj.entry(h).or_default().push(acquiring);
+    }
+}
+
+/// BFS from `from` to `to` over the edge set; returns the node path
+/// (inclusive of both endpoints) if one exists.
+fn find_path(adj: &HashMap<usize, Vec<usize>>, from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut prev: HashMap<usize, usize> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(&n).map_or(&[][..], |v| v) {
+            if next != from && !prev.contains_key(&next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+fn inversion_message(reg: &Registry, path: &[usize], held: usize, acquiring: usize) -> String {
+    use fmt::Write as _;
+    let mut msg = format!(
+        "lock-order inversion: thread '{}' is acquiring '{}' while holding '{}', \
+         but the opposite order {} is already established:\n",
+        thread_name(),
+        site_name(reg, acquiring),
+        site_name(reg, held),
+        path.iter()
+            .map(|&s| format!("'{}'", site_name(reg, s)))
+            .collect::<Vec<_>>()
+            .join(" -> "),
+    );
+    for pair in path.windows(2) {
+        if let Some(info) = reg.edges.get(&(pair[0], pair[1])) {
+            let _ = write!(
+                msg,
+                "\nedge '{}' -> '{}' first acquired by thread '{}' at:\n{}\n",
+                site_name(reg, pair[0]),
+                site_name(reg, pair[1]),
+                info.thread,
+                info.backtrace,
+            );
+        }
+    }
+    let _ = write!(
+        msg,
+        "\ncurrent acquisition of '{}' while holding '{}' at:\n{}",
+        site_name(reg, acquiring),
+        site_name(reg, held),
+        Backtrace::force_capture(),
+    );
+    msg
+}
+
+/// Registered site names, in registration order.
+pub fn site_names() -> Vec<String> {
+    registry().names.iter().map(|s| s.to_string()).collect()
+}
+
+/// The acquisition-order edges observed so far, as `(held, acquired)`
+/// site-name pairs.
+pub fn edges() -> Vec<(String, String)> {
+    let reg = registry();
+    reg.edges
+        .keys()
+        .map(|&(a, b)| (site_name(&reg, a), site_name(&reg, b)))
+        .collect()
+}
+
+/// Sites held by the calling thread, outermost first.
+pub fn held_sites() -> Vec<String> {
+    let held: Vec<usize> = HELD.with(|h| h.borrow().iter().map(|&(s, _)| s).collect());
+    let reg = registry();
+    held.iter().map(|&s| site_name(&reg, s)).collect()
+}
+
+/// Drains the recorded would-block-while-holding events.
+pub fn take_would_block_events() -> Vec<WouldBlockEvent> {
+    std::mem::take(&mut registry().would_block)
+}
+
+/// Opts the calling thread into panicking the moment it attempts a
+/// blocking acquisition while holding any lock — for threads whose latency
+/// contract forbids the hold-and-wait pattern entirely.
+pub fn forbid_blocking_while_holding(enabled: bool) {
+    STRICT_NO_BLOCK.with(|s| s.set(enabled));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Mutex;
+
+    // Site names are unique per test: the graph is process-global and
+    // tests share one process.
+
+    #[test]
+    fn acquisition_edges_are_recorded() {
+        let a = Mutex::new_named((), "tracing.test.rec_a");
+        let b = Mutex::new_named((), "tracing.test.rec_b");
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        assert!(super::edges().contains(&(
+            "tracing.test.rec_a".to_string(),
+            "tracing.test.rec_b".to_string()
+        )));
+    }
+
+    #[test]
+    fn held_stack_tracks_nesting() {
+        let a = Mutex::new_named((), "tracing.test.held_a");
+        let b = Mutex::new_named((), "tracing.test.held_b");
+        let ga = a.lock();
+        {
+            let _gb = b.lock();
+            assert_eq!(
+                super::held_sites(),
+                vec!["tracing.test.held_a", "tracing.test.held_b"]
+            );
+        }
+        assert_eq!(super::held_sites(), vec!["tracing.test.held_a"]);
+        drop(ga);
+        assert!(super::held_sites().is_empty());
+    }
+
+    #[test]
+    fn unnamed_locks_do_not_enter_the_graph() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        // Opposite orders on unnamed locks must not panic.
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+    }
+}
