@@ -14,12 +14,12 @@
 //! `--full` for paper-shaped sizes.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use alaya_bench::{fmt_secs, print_header, print_row, write_json, Scale};
 use alaya_core::{Db, DbConfig};
 use alaya_llm::{KvCache, ModelConfig};
-use alaya_serve::{ServeEngine, ServeOptions};
+use alaya_serve::{ServeEngine, ServeError, ServeOptions};
 use alaya_vector::rng::{gaussian_vec, seeded};
 use serde::Serialize;
 
@@ -253,6 +253,180 @@ fn main() {
         &Record {
             host_cores,
             context_len,
+            cells,
+        },
+    );
+
+    overload_sweep(&db, &model, &prompt, context_len, host_cores, quick_env);
+}
+
+#[derive(Serialize)]
+struct ShedCell {
+    overload_factor: usize,
+    drivers: usize,
+    threads: usize,
+    /// Attention submissions offered (admitted + shed).
+    offered: usize,
+    admitted: usize,
+    shed_overloaded: u64,
+    shed_deadline: u64,
+    /// Fraction of offered requests shed (either way).
+    shed_rate: f64,
+    /// Admitted requests completed per second of wall time.
+    goodput_rps: f64,
+    p50_admitted_ns: f64,
+    p99_admitted_ns: f64,
+    engine_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ShedRecord {
+    host_cores: usize,
+    context_len: usize,
+    dispatch_window_ms: u64,
+    deadline_ms: u64,
+    max_queue_requests: usize,
+    cells: Vec<ShedCell>,
+}
+
+/// Overload sweep: offered concurrency at 2x/4x/8x the worker count into
+/// a deliberately tight queue, with an SLO deadline on every request.
+/// Drivers do NOT retry sheds (a shed is a lost request, not a deferred
+/// one), so the offered rate stays pinned above capacity for the whole
+/// run. The interesting outputs: shed rate climbs with the overload
+/// factor while the p50/p99 latency of *admitted* requests stays flat —
+/// bounded batching + shedding converts excess load into typed
+/// rejections instead of unbounded queueing delay.
+fn overload_sweep(
+    db: &Arc<Db>,
+    model: &ModelConfig,
+    prompt: &[u32],
+    context_len: usize,
+    host_cores: usize,
+    quick_env: bool,
+) {
+    const WINDOW: Duration = Duration::from_millis(2);
+    const DEADLINE: Duration = Duration::from_millis(10);
+    let threads = 2usize;
+    let max_queue = 2 * threads;
+    let factors: &[usize] = if quick_env { &[2, 4] } else { &[2, 4, 8] };
+    let steps = if quick_env { 10 } else { 60 };
+
+    println!("\noverload sweep: window={WINDOW:?}, deadline={DEADLINE:?}, queue cap={max_queue}");
+    let widths = [7, 8, 8, 9, 9, 10, 9, 9];
+    print_header(
+        &[
+            "factor", "offered", "admit", "overload", "deadline", "shedrate", "p50", "p99",
+        ],
+        &widths,
+    );
+
+    let mut cells = Vec::new();
+    for &factor in factors {
+        let drivers = factor * threads;
+        let engine = ServeEngine::with_options(
+            Arc::clone(db),
+            ServeOptions {
+                threads,
+                dispatch_window: Some(WINDOW),
+                default_deadline: Some(DEADLINE),
+                max_queue_requests: max_queue,
+                ..Default::default()
+            },
+        );
+        let ids: Vec<_> = (0..drivers)
+            .map(|_| engine.admit(prompt).expect("admission").0)
+            .collect();
+        let inputs: Vec<StepInputs> = (0..drivers)
+            .map(|s| gen_inputs(model, steps, 9000 + s as u64))
+            .collect();
+
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut offered = 0usize;
+        let results: Vec<(Vec<u64>, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = ids
+                .iter()
+                .zip(&inputs)
+                .map(|(sid, inp)| {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        let mut lat = Vec::new();
+                        let mut tried = 0usize;
+                        for step in inp {
+                            for (layer, (q, k, v)) in step.iter().enumerate() {
+                                engine.update(*sid, q, k, v, layer).unwrap();
+                                tried += 1;
+                                let r0 = Instant::now();
+                                match engine.attention(*sid, q, layer) {
+                                    Ok(out) => {
+                                        std::hint::black_box(out);
+                                        lat.push(r0.elapsed().as_nanos() as u64);
+                                    }
+                                    Err(
+                                        ServeError::Overloaded { .. }
+                                        | ServeError::DeadlineExceeded { .. },
+                                    ) => {} // shed: move on, keep offering
+                                    Err(e) => panic!("unexpected serve error: {e}"),
+                                }
+                            }
+                        }
+                        (lat, tried)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let engine_seconds = t0.elapsed().as_secs_f64();
+        for (lat, tried) in results {
+            latencies.extend(lat);
+            offered += tried;
+        }
+        for sid in ids {
+            engine.close(sid).expect("close");
+        }
+        latencies.sort_unstable();
+        let stats = engine.stats();
+        let admitted = latencies.len();
+        let shed = stats.rejected_overload + stats.shed_deadline;
+        let cell = ShedCell {
+            overload_factor: factor,
+            drivers,
+            threads,
+            offered,
+            admitted,
+            shed_overloaded: stats.rejected_overload,
+            shed_deadline: stats.shed_deadline,
+            shed_rate: shed as f64 / offered.max(1) as f64,
+            goodput_rps: admitted as f64 / engine_seconds,
+            p50_admitted_ns: percentile(&latencies, 0.50),
+            p99_admitted_ns: percentile(&latencies, 0.99),
+            engine_seconds,
+        };
+        print_row(
+            &[
+                format!("{factor}x"),
+                cell.offered.to_string(),
+                cell.admitted.to_string(),
+                cell.shed_overloaded.to_string(),
+                cell.shed_deadline.to_string(),
+                format!("{:.1}%", cell.shed_rate * 100.0),
+                fmt_secs(cell.p50_admitted_ns / 1e9),
+                fmt_secs(cell.p99_admitted_ns / 1e9),
+            ],
+            &widths,
+        );
+        cells.push(cell);
+    }
+
+    write_json(
+        "BENCH_shedding",
+        &ShedRecord {
+            host_cores,
+            context_len,
+            dispatch_window_ms: WINDOW.as_millis() as u64,
+            deadline_ms: DEADLINE.as_millis() as u64,
+            max_queue_requests: max_queue,
             cells,
         },
     );

@@ -1,0 +1,150 @@
+//! The injectable clock behind every deadline and dispatch-window read.
+//!
+//! Shedding logic that calls `Instant::now()` directly can only be tested
+//! with real sleeps — slow, flaky, and useless under deterministic fault
+//! injection. Serving code therefore reads time exclusively through the
+//! [`Clock`] trait (an `alaya-lint` rule enforces this for the serve and
+//! device crates): production wires in [`SystemClock`], chaos tests wire
+//! in a [`ManualClock`] they advance by hand, so "the deadline expired
+//! while the request was queued" becomes a deterministic statement rather
+//! than a race against the wall.
+//!
+//! Time is a monotonic [`Duration`] since the clock's own epoch. Two
+//! clocks' readings are not comparable; all deadline arithmetic inside the
+//! scheduler uses one clock.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source.
+pub trait Clock: Send + Sync + Debug {
+    /// Time elapsed since this clock's epoch. Never decreases.
+    fn now(&self) -> Duration;
+}
+
+/// The real wall clock: monotonic time since construction. This is the
+/// one place in the serve/device stack allowed to call `Instant::now()`.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A hand-advanced clock for deterministic deadline tests: time moves only
+/// when the test says so.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at its epoch (t = 0).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        // Saturate rather than wrap: a test advancing by huge durations
+        // wants "the far future", not a clock that runs backwards.
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                Some(cur.saturating_add(add))
+            });
+    }
+
+    /// Sets the clock to `t` since its epoch. Must not move backwards
+    /// (readings are monotonic); earlier values are ignored.
+    pub fn set(&self, t: Duration) {
+        let target = u64::try_from(t.as_nanos()).unwrap_or(u64::MAX);
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                Some(cur.max(target))
+            });
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_starts_near_zero() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn manual_clock_moves_only_by_hand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn manual_set_never_rewinds() {
+        let clock = ManualClock::new();
+        clock.set(Duration::from_secs(2));
+        assert_eq!(clock.now(), Duration::from_secs(2));
+        clock.set(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(2), "set cannot rewind");
+        clock.set(Duration::from_secs(3));
+        assert_eq!(clock.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn manual_advance_saturates_instead_of_wrapping() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::MAX);
+        let far = clock.now();
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), far, "saturated clock stays put");
+    }
+
+    #[test]
+    fn clocks_are_usable_as_trait_objects() {
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let _ = clock.now();
+        let manual = ManualClock::new();
+        let dynamic: Arc<dyn Clock> = manual.clone();
+        manual.advance(Duration::from_micros(3));
+        assert_eq!(dynamic.now(), Duration::from_micros(3));
+    }
+}

@@ -19,14 +19,16 @@
 //! the decode phase (§2), with the 0.24 s/token human-reading-speed default
 //! used in §9.
 
+pub mod clock;
 pub mod cost;
 pub mod memory;
 pub mod pool;
 pub mod slo;
 pub mod spec;
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use cost::{CostModel, ModelShape};
 pub use memory::{MemoryGuard, MemoryTracker, OutOfMemory};
 pub use pool::WorkStealingPool;
-pub use slo::{Slo, SloReport};
+pub use slo::{DispatchBudget, Slo, SloReport};
 pub use spec::{DeviceKind, DeviceSpec, LinkSpec};

@@ -58,7 +58,17 @@ struct Shared {
     /// Workers currently parked (or about to park) on `wake`; lets `push`
     /// skip the parking lock entirely while the pool is busy.
     idle_workers: AtomicUsize,
+    /// Armed failpoint registry (chaos builds only); a `OnceLock` rather
+    /// than a lock so probing it adds no lock site and no ordering edges.
+    #[cfg(feature = "chaos")]
+    chaos: OnceLock<Arc<alaya_chaos::Chaos>>,
 }
+
+/// Failpoint: fires inside a scoped task's panic-containment wrapper, so
+/// an injected panic exercises exactly the real worker-panic path (scope
+/// marked panicked, `remaining` still decremented, owner re-raises).
+#[cfg(feature = "chaos")]
+pub const CHAOS_TASK_PANIC: &str = "device.pool.task_panic";
 
 impl Shared {
     /// Pops a task for `worker`: own deque first, then the injector, then
@@ -187,6 +197,8 @@ impl WorkStealingPool {
             shutdown: AtomicBool::new(false),
             next: AtomicUsize::new(0),
             idle_workers: AtomicUsize::new(0),
+            #[cfg(feature = "chaos")]
+            chaos: OnceLock::new(),
         });
         let workers = (0..threads)
             .map(|id| {
@@ -203,6 +215,14 @@ impl WorkStealingPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Installs the failpoint registry scoped tasks probe (first call
+    /// wins). Only sensible on a dedicated pool — injecting into the
+    /// process-wide [`global`] pool would fault unrelated tests.
+    #[cfg(feature = "chaos")]
+    pub fn inject_chaos(&self, chaos: Arc<alaya_chaos::Chaos>) {
+        let _ = self.shared.chaos.set(chaos);
     }
 
     /// Submits a detached (`'static`) task. Dropping the pool drains the
@@ -375,10 +395,26 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             )
         };
         let scope = Arc::as_ptr(&self.state) as usize;
+        #[cfg(feature = "chaos")]
+        let shared = Arc::clone(&self.pool.shared);
         self.pool.shared.push(Task {
             scope,
             f: Box::new(move || {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                // The chaos probe fires *inside* the containment wrapper:
+                // an injected panic must walk the same path a real task
+                // panic does (panicked flag, remaining decrement, owner
+                // re-raise) — injecting outside it would instead leak
+                // `remaining` and deadlock the scope.
+                let guarded = AssertUnwindSafe(move || {
+                    #[cfg(feature = "chaos")]
+                    if let Some(chaos) = shared.chaos.get() {
+                        if chaos.should_fire(CHAOS_TASK_PANIC) {
+                            panic!("chaos: injected worker panic");
+                        }
+                    }
+                    task();
+                });
+                if catch_unwind(guarded).is_err() {
                     state.panicked.store(true, Ordering::Release);
                 }
                 if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -510,6 +546,31 @@ mod tests {
         assert!(Arc::ptr_eq(a, b));
         assert!(a.threads() >= 1);
         assert_eq!(a.map(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    /// Injected worker panics are indistinguishable from real ones: the
+    /// scope re-raises each one, `remaining` reaches zero (no deadlock),
+    /// and once the failpoint exhausts the pool serves normally.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_worker_panics_follow_the_real_panic_path() {
+        let pool = WorkStealingPool::new(2);
+        let chaos = alaya_chaos::Chaos::new(0xC4A05);
+        chaos.arm_limited(CHAOS_TASK_PANIC, 1.0, 2);
+        pool.inject_chaos(Arc::clone(&chaos));
+        let mut panics = 0;
+        for _ in 0..4 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| s.spawn(|| {}));
+            }));
+            if caught.is_err() {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 2, "exactly max_fires scopes saw the injection");
+        assert_eq!(chaos.fires(CHAOS_TASK_PANIC), 2);
+        // The pool survived both injections and is fully functional.
+        assert_eq!(pool.map(5, |i| i * 3), vec![0, 3, 6, 9, 12]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
     no_unwrap_hot_path(file, &mut out);
     guard_across_pool_call(file, &mut out);
     time_in_kernel(file, &mut out);
+    time_outside_clock(file, &mut out);
     out
 }
 
@@ -262,6 +263,38 @@ fn time_in_kernel(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Crates whose scheduling/deadline logic must read time through the
+/// injectable `Clock` trait, so chaos tests can drive it with a
+/// `ManualClock`. A raw clock read anywhere else in these crates is
+/// untestable-by-construction time.
+const CLOCKED_CRATES: [&str; 2] = ["crates/serve/src/", "crates/device/src/"];
+
+/// The one module allowed to read the real clock: `SystemClock` lives
+/// here and everything else goes through the trait.
+const CLOCK_MODULE: &str = "crates/device/src/clock.rs";
+
+fn time_outside_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !CLOCKED_CRATES.iter().any(|p| file.rel_path.starts_with(p)) || file.rel_path == CLOCK_MODULE
+    {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    file,
+                    i,
+                    "time-outside-clock",
+                    format!("{pat} outside {CLOCK_MODULE}: read time via the Clock trait"),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +382,29 @@ mod tests {
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].rule, "time-in-kernel");
         let harness = findings("crates/workloads/src/a.rs", "let t = Instant::now();\n");
+        assert!(harness.is_empty());
+    }
+
+    #[test]
+    fn serve_and_device_read_time_only_through_the_clock_module() {
+        for path in ["crates/serve/src/sched.rs", "crates/device/src/pool.rs"] {
+            let bad = findings(path, "let t = Instant::now();\n");
+            assert!(
+                bad.iter().any(|f| f.rule == "time-outside-clock"),
+                "{path} must be clock-disciplined"
+            );
+        }
+        let sys = findings("crates/serve/src/a.rs", "let t = SystemTime::now();\n");
+        assert!(sys.iter().any(|f| f.rule == "time-outside-clock"));
+        // The clock module itself, test code, and other crates are exempt.
+        let clock = findings("crates/device/src/clock.rs", "let t = Instant::now();\n");
+        assert!(clock.is_empty());
+        let test = findings(
+            "crates/serve/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { let t = Instant::now(); }\n}\n",
+        );
+        assert!(test.is_empty());
+        let harness = findings("crates/bench/src/a.rs", "let t = Instant::now();\n");
         assert!(harness.is_empty());
     }
 }

@@ -11,46 +11,117 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use alaya_core::stored::ContextId;
 use alaya_core::{Db, StoreHandle};
+use alaya_device::clock::{Clock, SystemClock};
+use alaya_device::cost::CostModel;
 use alaya_device::memory::MemoryTracker;
 use alaya_device::pool::{self, WorkStealingPool};
+use alaya_device::slo::Slo;
 use alaya_llm::backend::{AttentionBackend, StepInput};
 
 use crate::admission::{per_token_bytes, session_bytes, AdmissionController};
 use crate::scheduler::{
-    self, Pending, ReservationGrowth, SchedulerCore, SchedulerStats, ServeError, SessionSlot,
+    self, BatchPolicy, Pending, ReservationGrowth, SchedulerCore, SchedulerStats, ServeError,
+    SessionSlot,
 };
 
 /// Handle to a session admitted into a [`ServeEngine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
+/// Batch-size fallback when neither [`ServeConfig::max_batch`] nor an
+/// SLO + cost model pair is configured to derive one.
+const DEFAULT_MAX_BATCH: usize = 64;
+
+/// Queue-depth default: far above any sane in-flight count, so the bound
+/// only trips under genuine overload (it exists to convert "silent
+/// unbounded queue growth" into typed [`ServeError::Overloaded`]).
+const DEFAULT_MAX_QUEUE_REQUESTS: usize = 4096;
+
+/// Queue-bytes default (256 MiB of queued query tensors).
+const DEFAULT_MAX_QUEUE_BYTES: u64 = 256 << 20;
+
 /// Engine construction options.
+///
+/// The defaults serve without shedding: no SLO, no deadlines, dispatch
+/// immediately, batch up to [`DEFAULT_MAX_BATCH`], and bound the queue at
+/// [`DEFAULT_MAX_QUEUE_REQUESTS`] requests / [`DEFAULT_MAX_QUEUE_BYTES`]
+/// bytes — limits sized to stay invisible until the server is genuinely
+/// drowning, at which point submissions get typed
+/// [`ServeError::Overloaded`] backpressure instead of queueing without
+/// bound. Configuring `slo` + `cost` turns on the SLO-aware path: batch
+/// size, dispatch window and default deadline derive from
+/// [`Slo::dispatch_budget`], and requests that cannot meet their deadline
+/// are shed with [`ServeError::DeadlineExceeded`].
 #[derive(Clone)]
-pub struct ServeOptions {
+pub struct ServeConfig {
     /// Worker threads for execution. `0` (the default) shares the
     /// process-wide pool; a positive count builds a dedicated pool (useful
-    /// for benchmark sweeps).
+    /// for benchmark sweeps and required for worker-panic chaos injection).
     pub threads: usize,
     /// Session-local KV cap used to size each session's admission
-    /// reservation (see [`crate::admission::session_bytes`]).
+    /// reservation (see [`crate::admission::session_bytes`]). Default 256.
     pub max_local_tokens: usize,
     /// Tracker admissions are charged against; defaults to the DB's GPU
     /// tracker, so admitted sessions and the query optimizer see one
     /// consistent budget.
     pub admission: Option<Arc<MemoryTracker>>,
+    /// Latency targets. With a `cost` model this derives the dispatch
+    /// window, batch bound and default deadline. Default `None`.
+    pub slo: Option<Slo>,
+    /// Hardware cost model estimating per-request execution time (sizes
+    /// batches against the SLO budget and the `retry_after_hint` on
+    /// overload). Default `None`.
+    pub cost: Option<CostModel>,
+    /// Maximum requests per dispatched batch. `0` (the default) derives
+    /// from `slo` + `cost`, falling back to [`DEFAULT_MAX_BATCH`].
+    pub max_batch: usize,
+    /// Explicit dispatch-window override (how long an under-full batch
+    /// lingers for batchmates). `None` (the default) derives from the SLO
+    /// or dispatches immediately.
+    pub dispatch_window: Option<Duration>,
+    /// Deadline applied to every `attention` submission (relative to
+    /// enqueue). `None` (the default) derives from the SLO when present,
+    /// else requests never expire. Per-request deadlines via
+    /// [`ServeEngine::attention_with_deadline`] override this.
+    pub default_deadline: Option<Duration>,
+    /// Queue-depth bound; submissions beyond it are rejected with
+    /// [`ServeError::Overloaded`]. Default
+    /// [`DEFAULT_MAX_QUEUE_REQUESTS`].
+    pub max_queue_requests: usize,
+    /// Queue-bytes bound (queued query tensors), same rejection. Default
+    /// [`DEFAULT_MAX_QUEUE_BYTES`].
+    pub max_queue_bytes: u64,
+    /// Time source for deadlines and dispatch windows. `None` (the
+    /// default) uses the monotonic [`SystemClock`]; tests and the chaos
+    /// harness inject a
+    /// [`ManualClock`](alaya_device::clock::ManualClock).
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
-impl Default for ServeOptions {
+/// The pre-overload-control name of [`ServeConfig`], kept as an alias so
+/// existing call sites compile unchanged.
+pub type ServeOptions = ServeConfig;
+
+impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             threads: 0,
             max_local_tokens: 256,
             admission: None,
+            slo: None,
+            cost: None,
+            max_batch: 0,
+            dispatch_window: None,
+            default_deadline: None,
+            max_queue_requests: DEFAULT_MAX_QUEUE_REQUESTS,
+            max_queue_bytes: DEFAULT_MAX_QUEUE_BYTES,
+            clock: None,
         }
     }
 }
@@ -67,16 +138,28 @@ pub struct ServeEngine {
     reserve_tokens: usize,
     /// Device bytes per local-KV token, for growth reservations.
     per_token: u64,
+    /// Deadline stamped on every submission without an explicit one.
+    default_deadline: Option<Duration>,
+    /// Shared with the scheduler core; all deadline math reads this.
+    clock: Arc<dyn Clock>,
 }
 
 impl ServeEngine {
     /// Creates an engine with default options.
     pub fn new(db: Arc<Db>) -> Self {
-        Self::with_options(db, ServeOptions::default())
+        Self::with_options(db, ServeConfig::default())
     }
 
-    /// Creates an engine with explicit options.
-    pub fn with_options(db: Arc<Db>, opts: ServeOptions) -> Self {
+    /// Creates an engine with explicit options. When `opts.slo` and
+    /// `opts.cost` are both set, the dispatch policy derives from
+    /// [`Slo::dispatch_budget`]: the per-request execution estimate is the
+    /// cost model's decode-step time over a worst-case context
+    /// (`window.initial + window.last + max_local_tokens` attended
+    /// tokens), and batch size / linger window / default deadline follow
+    /// from the tighter of the TTFT and TPOT budgets. Explicit fields
+    /// (`max_batch`, `dispatch_window`, `default_deadline`) override the
+    /// derivation piecewise.
+    pub fn with_options(db: Arc<Db>, opts: ServeConfig) -> Self {
         let pool: Arc<WorkStealingPool> = if opts.threads == 0 {
             Arc::clone(pool::global())
         } else {
@@ -85,7 +168,42 @@ impl ServeEngine {
         let tracker = opts.admission.unwrap_or_else(|| Arc::clone(db.gpu()));
         let admission =
             AdmissionController::new(tracker, session_bytes(db.config(), opts.max_local_tokens));
-        let core = Arc::new(SchedulerCore::new(pool));
+
+        // Worst-case attended tokens for one request: the stored window
+        // plus the full session-local cap. Doubles as the DRR quantum, so
+        // one round of credit dispatches roughly one worst-case request.
+        let cfg = db.config();
+        let est_tokens = cfg.window.initial + cfg.window.last + opts.max_local_tokens;
+        let est_s = opts
+            .cost
+            .as_ref()
+            .map(|c| c.decode_step_time(est_tokens))
+            .unwrap_or(0.0);
+        let derived = opts
+            .slo
+            .as_ref()
+            .and_then(|slo| slo.dispatch_budget(est_s, pool.threads()));
+        let max_batch = if opts.max_batch > 0 {
+            opts.max_batch
+        } else {
+            derived.map(|d| d.max_batch).unwrap_or(DEFAULT_MAX_BATCH)
+        };
+        let window = opts
+            .dispatch_window
+            .or(derived.map(|d| d.window))
+            .unwrap_or(Duration::ZERO);
+        let default_deadline = opts.default_deadline.or(derived.map(|d| d.deadline));
+        let policy = BatchPolicy {
+            max_batch: max_batch.max(1),
+            window,
+            max_queue_requests: opts.max_queue_requests.max(1),
+            max_queue_bytes: opts.max_queue_bytes.max(1),
+            quantum: est_tokens.max(1) as u64,
+            est_exec: Duration::try_from_secs_f64(est_s.max(0.0)).unwrap_or(Duration::ZERO),
+        };
+        let clock: Arc<dyn Clock> = opts.clock.unwrap_or_else(|| Arc::new(SystemClock::new()));
+
+        let core = Arc::new(SchedulerCore::new(pool, policy, Arc::clone(&clock)));
         let sched_core = Arc::clone(&core);
         let scheduler = std::thread::Builder::new()
             .name("alaya-serve-scheduler".into())
@@ -101,6 +219,8 @@ impl ServeEngine {
             scheduler: Some(scheduler),
             reserve_tokens: opts.max_local_tokens.max(1),
             per_token,
+            default_deadline,
+            clock,
         }
     }
 
@@ -117,6 +237,30 @@ impl ServeEngine {
     /// Scheduler counters so far.
     pub fn stats(&self) -> SchedulerStats {
         self.core.stats.snapshot()
+    }
+
+    /// The dispatch policy in force (explicit, SLO-derived, or default).
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.core.policy
+    }
+
+    /// The engine's time source (system or injected).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Arms deterministic fault injection: the scheduler probes `chaos`
+    /// at its failpoints, and — when this engine owns a dedicated pool
+    /// (`threads > 0`) — so do the pool's workers. The process-wide pool
+    /// is deliberately left alone: injecting panics into workers shared
+    /// with unrelated tests would make chaos non-hermetic. First call
+    /// wins; later calls are ignored.
+    #[cfg(feature = "chaos")]
+    pub fn inject_chaos(&self, chaos: Arc<alaya_chaos::Chaos>) {
+        let _ = self.core.chaos.set(Arc::clone(&chaos));
+        if !Arc::ptr_eq(&self.core.pool, pool::global()) {
+            self.core.pool.inject_chaos(chaos);
+        }
     }
 
     /// Sessions currently admitted.
@@ -251,22 +395,67 @@ impl ServeEngine {
     /// [`ServeEngine::attention`] taking the query tensor by value — the
     /// clone-free entry point for callers that already own it (the decode
     /// hot path goes through here via [`ServeEngine::attend`]).
+    ///
+    /// Carries the engine's default deadline (if any). May return the
+    /// overload-control errors [`ServeError::Overloaded`] (queue full —
+    /// the request was never queued) and [`ServeError::DeadlineExceeded`]
+    /// (queued past its deadline and shed); both are
+    /// [`ServeError::is_retryable`].
     pub fn attention_owned(
         &self,
         id: SessionId,
         queries: Vec<Vec<f32>>,
         layer: usize,
     ) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.submit(id, queries, layer, self.default_deadline)
+    }
+
+    /// [`ServeEngine::attention_owned`] with an explicit deadline
+    /// (relative to now): if the request is still queued when the deadline
+    /// can no longer be met, it is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of executing late.
+    pub fn attention_with_deadline(
+        &self,
+        id: SessionId,
+        queries: Vec<Vec<f32>>,
+        layer: usize,
+        deadline: Duration,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.submit(id, queries, layer, Some(deadline))
+    }
+
+    fn submit(
+        &self,
+        id: SessionId,
+        queries: Vec<Vec<f32>>,
+        layer: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
         self.check_layer(layer)?;
         self.check_shape(&queries, "query", self.db.config().model.n_q_heads)?;
         let slot = self.slot(id)?;
+        // DRR cost: attended tokens this request makes the batch touch
+        // (shared prefix + reservation-covered local KV — a cheap upper
+        // bound that needs no session lock). The growth lock is released
+        // before enqueue, so this adds no lock-order edge to the queue.
+        let covered = {
+            let growth = slot.growth.lock();
+            growth.covered_tokens
+        };
+        let cost = (slot.reused_len as u64).saturating_add(covered as u64);
+        let bytes = queries.iter().map(|q| q.len() * 4).sum::<usize>() as u64;
+        let enqueued = self.clock.now();
         let (tx, rx) = mpsc::channel();
         self.core.enqueue(Pending {
             slot,
             queries,
             layer,
             reply: tx,
-        });
+            enqueued,
+            deadline: deadline.map(|d| enqueued.saturating_add(d)),
+            cost,
+            bytes,
+        })?;
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 

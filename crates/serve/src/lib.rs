@@ -25,8 +25,18 @@
 //!   the session admitted and its bytes reserved until close), so an
 //!   overloaded server returns [`ServeError::OutOfMemory`] instead of
 //!   thrashing (or panicking).
+//! * **Overload control** ([`error`], plus the scheduler's
+//!   [`BatchPolicy`]) — batches are bounded and SLO-aware, queue depth is
+//!   bounded with typed [`ServeError::Overloaded`] backpressure, requests
+//!   carry deadlines and are shed with [`ServeError::DeadlineExceeded`]
+//!   when they can no longer be met, and per-session deficit-round-robin
+//!   keeps one heavy tenant from monopolizing consecutive batches. Every
+//!   accepted request terminates in exactly one reply. The `chaos`
+//!   feature compiles in deterministic failpoints (worker panics, slow
+//!   batches — see `alaya-chaos`) that the chaos test suite uses to prove
+//!   these properties hold *under* injected faults.
 //!
-//! [`ServeEngine`] packages the three behind a handle-based API:
+//! [`ServeEngine`] packages the layers behind a handle-based API:
 //! `admit → update/attention (any thread) → store/close`.
 //!
 //! [`Db`]: alaya_core::Db
@@ -35,9 +45,11 @@
 
 pub mod admission;
 pub mod engine;
+pub mod error;
 pub mod scheduler;
 
 pub use admission::AdmissionController;
 pub use alaya_device::pool::{self, Scope, WorkStealingPool};
-pub use engine::{ServeEngine, ServeOptions, SessionId};
-pub use scheduler::{SchedulerStats, ServeError};
+pub use engine::{ServeConfig, ServeEngine, ServeOptions, SessionId};
+pub use error::ServeError;
+pub use scheduler::{BatchPolicy, SchedulerStats};

@@ -1,119 +1,119 @@
 //! The cross-session attention scheduler.
 //!
 //! Callers from many threads submit attention requests; a dedicated
-//! scheduler thread drains whatever has accumulated into one *batch*
-//! (natural batching: under load the queue fills while the previous batch
-//! executes, when idle a lone request is dispatched immediately), then:
+//! scheduler thread collects them into *bounded* batches and:
 //!
-//! 1. **Groups** the batch by `(stored context, layer, reused prefix)`.
+//! 1. **Collects** a batch under the dispatch policy ([`BatchPolicy`]):
+//!    *bounded size* (`max_batch`, derived from the SLO budget and the
+//!    cost model's per-request estimate — the batch ahead of a request
+//!    must not eat its latency budget), an *SLO-aware dispatch window*
+//!    (an under-full batch lingers up to `window` collecting batchmates,
+//!    buying the cross-session plan sharing below), *deficit-round-robin
+//!    fairness* across sessions (each lane banks `quantum` cost units per
+//!    round and dispatches while its deficit covers the head request's
+//!    cost, so a million-token tenant cannot monopolize consecutive
+//!    batches), and *deadline shedding* (a request whose deadline cannot
+//!    be met anymore is answered with a typed
+//!    [`ServeError::DeadlineExceeded`] instead of executing). Queue depth
+//!    is bounded at submission: [`SchedulerCore::enqueue`] rejects with
+//!    [`ServeError::Overloaded`] rather than queueing without bound.
+//! 2. **Groups** the batch by `(stored context, layer, reused prefix)`.
 //!    Sessions in one group have identical [`QuerySpec`]s, so the
 //!    optimizer runs **once per group** and every member executes under
 //!    the shared plan — the cross-session analogue of the paper's "one
 //!    index, many consumers" economics.
-//! 2. **Executes** the batch on the work-stealing pool: one task per
+//! 3. **Executes** the batch on the work-stealing pool: one task per
 //!    `(request, query head)` pair for long contexts, one task per request
 //!    below the serial cutoff (`PARALLEL_MIN_TOKENS`). Heads are
 //!    independent, so this is safe and — because each task writes only its
 //!    own output slot — bitwise deterministic for any worker count or
 //!    steal order.
-//! 3. **Replies** through each request's channel, unblocking its caller.
+//! 4. **Replies** through each request's channel, unblocking its caller.
+//!    Every request that enters the queue receives exactly one reply —
+//!    executed, shed, or aborted — and its session slot (hence its
+//!    admission reservation) is released before the reply is sent.
+//!
+//! All time is read through the engine's injectable
+//! [`Clock`](alaya_device::clock::Clock), so deadline and window logic is
+//! deterministic under the chaos harness's [`ManualClock`]. With the
+//! `chaos` feature the loop carries a batch-delay failpoint
+//! ([`CHAOS_BATCH_DELAY`]) simulating slow execution.
 //!
 //! The scheduler locks each involved session for the duration of the
 //! batch; `update` calls on those sessions queue behind it, preserving
 //! the per-session ordering contract of the `AttentionBackend` seam.
 //!
 //! [`QuerySpec`]: alaya_query::optimizer::QuerySpec
+//! [`ManualClock`]: alaya_device::clock::ManualClock
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
+#[cfg(feature = "chaos")]
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use alaya_core::session::PARALLEL_MIN_TOKENS;
 use alaya_core::stored::ContextId;
 use alaya_core::Session;
-use alaya_device::memory::{MemoryGuard, OutOfMemory};
+use alaya_device::clock::Clock;
+use alaya_device::memory::MemoryGuard;
 use alaya_device::pool::WorkStealingPool;
 use alaya_llm::backend::AttentionBackend as _;
 use alaya_query::optimizer::Plan;
 
-use crate::engine::SessionId;
+pub use crate::error::ServeError;
 
-/// Serving-layer errors. Admission failures carry the tracker's typed
-/// [`OutOfMemory`] so callers can shed or retry with real numbers.
+/// Failpoint: the scheduler sleeps before executing a collected batch,
+/// simulating a slow tenant / slow device so queued requests pile up and
+/// deadlines expire. Fired with no locks held.
+#[cfg(feature = "chaos")]
+pub const CHAOS_BATCH_DELAY: &str = "serve.sched.batch_delay";
+
+/// A request heavier than `COST_CLAMP * quantum` is billed as exactly
+/// that: its lane then waits at most `COST_CLAMP` DRR rounds between
+/// dispatches, bounding how long fairness can starve a giant tenant.
+const COST_CLAMP: u64 = 8;
+
+/// Dispatch policy: how the scheduler bounds its batches and its queue.
+/// Derived from [`ServeConfig`](crate::engine::ServeConfig) (and, when an
+/// SLO + cost model are configured, from
+/// [`Slo::dispatch_budget`](alaya_device::slo::Slo::dispatch_budget)).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ServeError {
-    /// The session id is not (or no longer) registered.
-    UnknownSession(SessionId),
-    /// Admission control rejected the session: the device budget is full.
-    OutOfMemory(OutOfMemory),
-    /// The engine is shutting down; the request was not executed.
-    ShuttingDown,
-    /// The layer index is out of range for the model; rejected before
-    /// touching the session or the scheduler.
-    InvalidLayer {
-        /// The rejected layer index.
-        layer: usize,
-        /// Layers the model has.
-        n_layers: usize,
-    },
-    /// A query/key/value tensor does not match the model geometry; the
-    /// call was rejected before touching the session or the scheduler, so
-    /// the session stays consistent and co-batched tenants are unaffected.
-    InvalidShape {
-        /// Which tensor was malformed ("query", "key" or "value").
-        what: &'static str,
-        /// Heads the model expects for that tensor.
-        expected_heads: usize,
-        /// Per-head dimension the model expects.
-        expected_dim: usize,
-    },
-    /// Executing the batch containing this request panicked; the whole
-    /// batch was aborted with this error, the engine lives on. A backstop —
-    /// known-malformed requests are rejected up front as
-    /// [`ServeError::InvalidShape`].
-    ExecutionPanicked,
-    /// A background store's KV merge or index build panicked; no context
-    /// was published and the session lives on.
-    StoreFailed(String),
+pub struct BatchPolicy {
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// How long an under-full batch lingers for batchmates. Zero = never
+    /// linger (dispatch whatever is queued immediately).
+    pub window: Duration,
+    /// Queue-depth bound: submissions beyond this many queued requests
+    /// are rejected with [`ServeError::Overloaded`].
+    pub max_queue_requests: usize,
+    /// Queue-size bound in request bytes, same rejection.
+    pub max_queue_bytes: u64,
+    /// Cost units (attended tokens) each session lane banks per DRR
+    /// round.
+    pub quantum: u64,
+    /// Estimated execution time of one request; sizes the
+    /// `retry_after_hint` on [`ServeError::Overloaded`] and the margin
+    /// for "this deadline can no longer be met".
+    pub est_exec: Duration,
 }
 
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
-            ServeError::OutOfMemory(oom) => write!(f, "admission rejected: {oom}"),
-            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
-            ServeError::InvalidLayer { layer, n_layers } => {
-                write!(
-                    f,
-                    "layer {layer} out of range: the model has {n_layers} layers"
-                )
-            }
-            ServeError::InvalidShape {
-                what,
-                expected_heads,
-                expected_dim,
-            } => write!(
-                f,
-                "{what} tensor must be {expected_heads} heads x {expected_dim} dims"
-            ),
-            ServeError::ExecutionPanicked => {
-                write!(f, "batch execution panicked; request aborted")
-            }
-            ServeError::StoreFailed(msg) => write!(f, "background store failed: {msg}"),
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            window: Duration::ZERO,
+            max_queue_requests: 4096,
+            max_queue_bytes: 256 << 20,
+            quantum: 512,
+            est_exec: Duration::ZERO,
         }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-impl From<OutOfMemory> for ServeError {
-    fn from(oom: OutOfMemory) -> Self {
-        ServeError::OutOfMemory(oom)
     }
 }
 
@@ -160,6 +160,15 @@ pub(crate) struct Pending {
     pub(crate) queries: Vec<Vec<f32>>,
     pub(crate) layer: usize,
     pub(crate) reply: Sender<Result<Vec<Vec<f32>>, ServeError>>,
+    /// Scheduler-clock time this request entered the queue.
+    pub(crate) enqueued: Duration,
+    /// Absolute scheduler-clock deadline; `None` = never shed.
+    pub(crate) deadline: Option<Duration>,
+    /// DRR cost in attended tokens (reused prefix + covered local KV):
+    /// the work this request makes the batch do.
+    pub(crate) cost: u64,
+    /// Queue-accounting bytes (the query tensor).
+    pub(crate) bytes: u64,
 }
 
 /// Monotonic scheduler counters (observability + batching assertions in
@@ -176,6 +185,11 @@ pub struct SchedulerStats {
     pub shared_plan_requests: u64,
     /// Largest batch dispatched so far.
     pub max_batch: u64,
+    /// Requests shed from the queue because their deadline expired.
+    pub shed_deadline: u64,
+    /// Submissions rejected at enqueue because the queue was at its
+    /// request/byte bound.
+    pub rejected_overload: u64,
 }
 
 #[derive(Default)]
@@ -185,6 +199,8 @@ pub(crate) struct StatsCells {
     plans_computed: AtomicU64,
     shared_plan_requests: AtomicU64,
     max_batch: AtomicU64,
+    shed_deadline: AtomicU64,
+    rejected_overload: AtomicU64,
 }
 
 impl StatsCells {
@@ -195,62 +211,271 @@ impl StatsCells {
             plans_computed: self.plans_computed.load(Ordering::Relaxed),
             shared_plan_requests: self.shared_plan_requests.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// One session's FIFO lane in the deficit-round-robin queue.
+#[derive(Default)]
+struct TenantLane {
+    /// Banked dispatch credit, in cost units (attended tokens).
+    deficit: u64,
+    queue: VecDeque<Pending>,
+}
+
+/// The scheduler's queue: per-session lanes served deficit-round-robin.
+/// Requests from one session stay FIFO (the per-session ordering
+/// contract); *across* sessions, dispatch order is deficit-weighted so
+/// expensive tenants cannot monopolize consecutive batches.
+#[derive(Default)]
+pub(crate) struct SchedQueue {
+    /// Lane per live session, keyed by slot address. A lane exists only
+    /// while it has queued requests (its deficit resets when it empties —
+    /// an idle session must not bank credit).
+    lanes: HashMap<usize, TenantLane>,
+    /// Round-robin order over `lanes` keys.
+    rr: VecDeque<usize>,
+    n_queued: usize,
+    queued_bytes: u64,
+}
+
+impl SchedQueue {
+    pub(crate) fn len(&self) -> usize {
+        self.n_queued
+    }
+
+    fn push(&mut self, p: Pending) {
+        let key = slot_ptr(&p);
+        self.n_queued += 1;
+        self.queued_bytes = self.queued_bytes.saturating_add(p.bytes);
+        if !self.lanes.contains_key(&key) {
+            self.rr.push_back(key);
+        }
+        self.lanes.entry(key).or_default().queue.push_back(p);
+    }
+
+    /// Collects the next batch by deficit round robin, shedding requests
+    /// whose deadline can no longer be met (`now + est_exec` past it).
+    /// Returns `(batch, shed)`. Progress guarantee: when the queue is
+    /// nonempty the union is nonempty — each unvisited-lane round banks
+    /// another `quantum`, and costs are clamped to `COST_CLAMP * quantum`,
+    /// so some head request becomes dispatchable within `COST_CLAMP`
+    /// rounds.
+    fn collect(&mut self, policy: &BatchPolicy, now: Duration) -> (Vec<Pending>, Vec<Pending>) {
+        let mut batch = Vec::new();
+        let mut shed = Vec::new();
+        while batch.len() < policy.max_batch {
+            let Some(key) = self.rr.pop_front() else {
+                break;
+            };
+            let Some(lane) = self.lanes.get_mut(&key) else {
+                continue;
+            };
+            lane.deficit = lane.deficit.saturating_add(policy.quantum);
+            while batch.len() < policy.max_batch {
+                let Some(head) = lane.queue.front() else {
+                    break;
+                };
+                let expired = head
+                    .deadline
+                    .is_some_and(|dl| now.saturating_add(policy.est_exec) >= dl);
+                if expired {
+                    // Shedding consumes no deficit: the lane did no work.
+                    if let Some(p) = lane.queue.pop_front() {
+                        self.n_queued -= 1;
+                        self.queued_bytes = self.queued_bytes.saturating_sub(p.bytes);
+                        shed.push(p);
+                    }
+                    continue;
+                }
+                let cost = head
+                    .cost
+                    .max(1)
+                    .min(policy.quantum.saturating_mul(COST_CLAMP));
+                if cost > lane.deficit {
+                    break;
+                }
+                lane.deficit -= cost;
+                if let Some(p) = lane.queue.pop_front() {
+                    self.n_queued -= 1;
+                    self.queued_bytes = self.queued_bytes.saturating_sub(p.bytes);
+                    batch.push(p);
+                }
+            }
+            if lane.queue.is_empty() {
+                self.lanes.remove(&key);
+            } else {
+                self.rr.push_back(key);
+            }
+        }
+        (batch, shed)
     }
 }
 
 /// State shared between the engine (producer side) and the scheduler
 /// thread (consumer side).
 pub(crate) struct SchedulerCore {
-    pub(crate) queue: Mutex<VecDeque<Pending>>,
+    pub(crate) queue: Mutex<SchedQueue>,
     pub(crate) cv: Condvar,
     pub(crate) shutdown: AtomicBool,
     pub(crate) stats: StatsCells,
     pub(crate) pool: Arc<WorkStealingPool>,
+    pub(crate) policy: BatchPolicy,
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Armed failpoint registry (chaos builds only); a `OnceLock` rather
+    /// than a lock so probing it adds no lock site and no ordering edges.
+    #[cfg(feature = "chaos")]
+    pub(crate) chaos: OnceLock<Arc<alaya_chaos::Chaos>>,
 }
 
 impl SchedulerCore {
-    pub(crate) fn new(pool: Arc<WorkStealingPool>) -> Self {
+    pub(crate) fn new(
+        pool: Arc<WorkStealingPool>,
+        policy: BatchPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Self {
-            queue: Mutex::new_named(VecDeque::new(), "serve.sched.queue"),
+            queue: Mutex::new_named(SchedQueue::default(), "serve.sched.queue"),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: StatsCells::default(),
             pool,
+            policy,
+            clock,
+            #[cfg(feature = "chaos")]
+            chaos: OnceLock::new(),
         }
     }
 
-    pub(crate) fn enqueue(&self, p: Pending) {
-        self.queue.lock().push_back(p);
+    /// Queues a request, or rejects it with [`ServeError::Overloaded`]
+    /// when the queue is at its request/byte bound. A rejected request
+    /// never occupies a slot; its `Pending` (and the session Arc inside)
+    /// is dropped here, after the queue lock is released.
+    pub(crate) fn enqueue(&self, p: Pending) -> Result<(), ServeError> {
+        let mut q = self.queue.lock();
+        let over_requests = q.len() >= self.policy.max_queue_requests;
+        let over_bytes = q.queued_bytes.saturating_add(p.bytes) > self.policy.max_queue_bytes;
+        if over_requests || over_bytes {
+            let err = ServeError::Overloaded {
+                queued_requests: q.n_queued,
+                queued_bytes: q.queued_bytes,
+                retry_after_hint: self.retry_after_hint(q.n_queued),
+            };
+            self.stats.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            // Dropped here — lock released first, so freeing the request's
+            // session Arc (possibly the last reference) runs lock-free.
+            drop(p);
+            return Err(err);
+        }
+        q.push(p);
         self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Client-backoff estimate: batches ahead of a new submission times
+    /// the per-batch execution estimate (1 ms floor when no cost model is
+    /// configured — "come back after the queue has turned over at least
+    /// once", not "hammer immediately").
+    fn retry_after_hint(&self, queued: usize) -> Duration {
+        let batches_ahead = (queued / self.policy.max_batch.max(1) + 1) as u32;
+        let per_batch = if self.policy.est_exec.is_zero() {
+            Duration::from_millis(1)
+        } else {
+            self.policy.est_exec
+        };
+        per_batch.saturating_mul(batches_ahead)
     }
 }
 
-/// The scheduler thread's main loop: drain → batch → execute, until
+/// The scheduler thread's main loop: collect → shed → execute, until
 /// shutdown is signalled *and* the queue is empty (queued requests are
-/// always answered, never dropped).
+/// always answered — executed or shed — never dropped).
 pub(crate) fn run(core: Arc<SchedulerCore>) {
     loop {
-        let batch: Vec<Pending> = {
+        let (batch, shed) = {
             let mut q = core.queue.lock();
             loop {
-                if !q.is_empty() {
-                    break q.drain(..).collect();
+                if q.n_queued == 0 {
+                    if core.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    core.cv.wait(&mut q);
+                    continue;
                 }
-                if core.shutdown.load(Ordering::Acquire) {
-                    return;
+                // SLO dispatch window: an under-full batch lingers for
+                // batchmates (plan sharing), but never past `window`.
+                // Both exits are checked — elapsed clock time for the
+                // injectable clock, and the real `wait_for` timeout as
+                // the liveness backstop when a test clock never advances.
+                let window = core.policy.window;
+                if !window.is_zero()
+                    && q.n_queued < core.policy.max_batch
+                    && !core.shutdown.load(Ordering::Acquire)
+                {
+                    let opened = core.clock.now();
+                    loop {
+                        let elapsed = core.clock.now().saturating_sub(opened);
+                        if elapsed >= window
+                            || q.n_queued >= core.policy.max_batch
+                            || core.shutdown.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        if core.cv.wait_for(&mut q, window - elapsed).timed_out() {
+                            break;
+                        }
+                    }
                 }
-                core.cv.wait(&mut q);
+                let now = core.clock.now();
+                let out = q.collect(&core.policy, now);
+                if out.0.is_empty() && out.1.is_empty() {
+                    // Lost a race (another collect drained the queue
+                    // between wait and here); re-check from the top.
+                    continue;
+                }
+                break out;
             }
         };
+
+        // Shed replies happen outside the queue lock, slot dropped first:
+        // a caller receiving DeadlineExceeded may immediately close the
+        // session and must get its admission reservation back.
+        let now = core.clock.now();
+        for p in shed {
+            core.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let Pending {
+                slot,
+                reply,
+                enqueued,
+                ..
+            } = p;
+            drop(slot);
+            let _ = reply.send(Err(ServeError::DeadlineExceeded {
+                queued_for: now.saturating_sub(enqueued),
+            }));
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Chaos: simulate a slow batch (no locks held while sleeping).
+        #[cfg(feature = "chaos")]
+        if let Some(chaos) = core.chaos.get() {
+            if let Some(delay) = chaos.fire_delay(CHAOS_BATCH_DELAY) {
+                std::thread::sleep(delay);
+            }
+        }
+
         // A panicking batch (e.g. a malformed request whose head task
         // panics on the pool) must not kill the scheduler thread: queued
         // and future requests would then block on `recv` forever. Catch
         // the unwind, answer every member of the batch with a typed error,
         // and keep serving. (`execute_batch` only sends replies in its
         // final loop, after all fallible work, so no member has been
-        // answered twice.) Sessions whose locks were poisoned by the
-        // unwind fail their next use loudly rather than hanging.
+        // answered twice.)
         let replies: Vec<Sender<Result<Vec<Vec<f32>>, ServeError>>> =
             batch.iter().map(|p| p.reply.clone()).collect();
         if catch_unwind(AssertUnwindSafe(|| execute_batch(&core, batch))).is_err() {
@@ -369,6 +594,7 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
 mod tests {
     use super::*;
     use alaya_core::{Db, DbConfig};
+    use alaya_device::clock::{ManualClock, SystemClock};
     use alaya_llm::{FullKvBackend, Model, ModelConfig};
     use alaya_vector::rng::{gaussian_vec, seeded};
     use std::sync::mpsc;
@@ -385,6 +611,39 @@ mod tests {
                 guards: Vec::new(),
             }),
         })
+    }
+
+    fn core_for_tests(threads: usize) -> SchedulerCore {
+        SchedulerCore::new(
+            Arc::new(WorkStealingPool::new(threads)),
+            BatchPolicy::default(),
+            Arc::new(SystemClock::new()),
+        )
+    }
+
+    type ReplyRx = mpsc::Receiver<Result<Vec<Vec<f32>>, ServeError>>;
+
+    fn pending(
+        slot: &Arc<SessionSlot>,
+        queries: Vec<Vec<f32>>,
+        layer: usize,
+        cost: u64,
+        deadline: Option<Duration>,
+    ) -> (Pending, ReplyRx) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                slot: Arc::clone(slot),
+                queries,
+                layer,
+                reply: tx,
+                enqueued: Duration::ZERO,
+                deadline,
+                cost,
+                bytes: 64,
+            },
+            rx,
+        )
     }
 
     /// One batch, four requests: three sessions over the same stored
@@ -406,28 +665,16 @@ mod tests {
         let s2 = slot_for(&db, &prompt);
         let s3 = slot_for(&db, &prompt);
 
-        let core = SchedulerCore::new(Arc::new(WorkStealingPool::new(4)));
+        let core = core_for_tests(4);
         let mut rng = seeded(5);
         let queries: Vec<Vec<f32>> = (0..model_cfg.n_q_heads)
             .map(|_| gaussian_vec(&mut rng, model_cfg.head_dim, 1.0))
             .collect();
 
-        let mk = |slot: &Arc<SessionSlot>, layer: usize| {
-            let (tx, rx) = mpsc::channel();
-            (
-                Pending {
-                    slot: Arc::clone(slot),
-                    queries: queries.clone(),
-                    layer,
-                    reply: tx,
-                },
-                rx,
-            )
-        };
-        let (p1, r1) = mk(&s1, 1);
-        let (p2, r2) = mk(&s2, 1);
-        let (p3, r3) = mk(&s3, 1);
-        let (p4, r4) = mk(&s1, 0);
+        let (p1, r1) = pending(&s1, queries.clone(), 1, 1, None);
+        let (p2, r2) = pending(&s2, queries.clone(), 1, 1, None);
+        let (p3, r3) = pending(&s3, queries.clone(), 1, 1, None);
+        let (p4, r4) = pending(&s1, queries.clone(), 0, 1, None);
         execute_batch(&core, vec![p1, p2, p3, p4]);
 
         let stats = core.stats.snapshot();
@@ -468,27 +715,11 @@ mod tests {
             let kv = vec![vec![0.25; model_cfg.head_dim]; model_cfg.n_kv_heads];
             s.update(&q, &kv, &kv, 0);
         }
-        let core = SchedulerCore::new(Arc::new(WorkStealingPool::new(2)));
+        let core = core_for_tests(2);
         let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
-        let (tx1, rx1) = mpsc::channel();
-        let (tx2, rx2) = mpsc::channel();
-        execute_batch(
-            &core,
-            vec![
-                Pending {
-                    slot: Arc::clone(&slot),
-                    queries: queries.clone(),
-                    layer: 0,
-                    reply: tx1,
-                },
-                Pending {
-                    slot: Arc::clone(&slot),
-                    queries: queries.clone(),
-                    layer: 0,
-                    reply: tx2,
-                },
-            ],
-        );
+        let (p1, rx1) = pending(&slot, queries.clone(), 0, 1, None);
+        let (p2, rx2) = pending(&slot, queries.clone(), 0, 1, None);
+        execute_batch(&core, vec![p1, p2]);
         let a = rx1.recv().unwrap().unwrap();
         let b = rx2.recv().unwrap().unwrap();
         assert_eq!(a, b);
@@ -504,7 +735,7 @@ mod tests {
         let model_cfg = ModelConfig::tiny();
         let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
         let slot = slot_for(&db, &[1, 2, 3]);
-        let core = Arc::new(SchedulerCore::new(Arc::new(WorkStealingPool::new(2))));
+        let core = Arc::new(core_for_tests(2));
         let sched = {
             let core = Arc::clone(&core);
             std::thread::spawn(move || run(core))
@@ -514,20 +745,15 @@ mod tests {
         // head task panics on the pool (the engine rejects this shape up
         // front; here we drive the scheduler directly to test the backstop).
         let bad = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads * 4];
-        let (tx, rx) = mpsc::channel();
-        core.enqueue(Pending {
-            slot: Arc::clone(&slot),
-            queries: bad,
-            layer: 0,
-            reply: tx,
-        });
+        let (p, rx) = pending(&slot, bad, 0, 1, None);
+        core.enqueue(p).unwrap();
         assert_eq!(
             rx.recv().unwrap().unwrap_err(),
             ServeError::ExecutionPanicked
         );
 
-        // The scheduler thread survived — and the poisoned session lock is
-        // recovered, so a well-formed request on the same session serves.
+        // The scheduler thread survived, and a well-formed request on the
+        // same session serves.
         {
             let mut s = slot.lock();
             let q = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_q_heads];
@@ -535,13 +761,8 @@ mod tests {
             s.update(&q, &kv, &kv, 0);
         }
         let good = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
-        let (tx2, rx2) = mpsc::channel();
-        core.enqueue(Pending {
-            slot: Arc::clone(&slot),
-            queries: good,
-            layer: 0,
-            reply: tx2,
-        });
+        let (p2, rx2) = pending(&slot, good, 0, 1, None);
+        core.enqueue(p2).unwrap();
         assert!(rx2.recv().unwrap().is_ok());
 
         core.shutdown.store(true, Ordering::Release);
@@ -550,5 +771,174 @@ mod tests {
             core.cv.notify_all();
         }
         sched.join().unwrap();
+    }
+
+    /// DRR fairness: a heavy tenant with many queued expensive requests
+    /// cannot crowd a light tenant out of the next batch.
+    #[test]
+    fn drr_lets_light_tenants_through_a_heavy_backlog() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let heavy = slot_for(&db, &[1, 2, 3]);
+        let light = slot_for(&db, &[4, 5, 6]);
+        let q = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+
+        let policy = BatchPolicy {
+            max_batch: 4,
+            quantum: 10,
+            ..BatchPolicy::default()
+        };
+        let mut queue = SchedQueue::default();
+        // Heavy enqueues first: 8 requests at 8x the quantum each (the
+        // clamp ceiling). Light follows with 2 cheap requests.
+        let mut rxs = Vec::new();
+        for _ in 0..8 {
+            let (p, rx) = pending(&heavy, q.clone(), 0, 80, None);
+            queue.push(p);
+            rxs.push(rx);
+        }
+        for _ in 0..2 {
+            let (p, rx) = pending(&light, q.clone(), 1, 1, None);
+            queue.push(p);
+            rxs.push(rx);
+        }
+
+        let (batch, shed) = queue.collect(&policy, Duration::ZERO);
+        assert!(shed.is_empty());
+        assert_eq!(batch.len(), 4);
+        let light_in_batch = batch.iter().filter(|p| p.layer == 1).count();
+        assert_eq!(
+            light_in_batch, 2,
+            "both light requests dispatch in the first batch despite the heavy backlog"
+        );
+        assert_eq!(queue.len(), 6, "remaining heavy requests stay queued");
+
+        // The heavy tenant is not starved either: successive collects
+        // drain its lane.
+        let mut drained = 0;
+        while queue.len() > 0 {
+            let (b, s) = queue.collect(&policy, Duration::ZERO);
+            assert!(s.is_empty());
+            assert!(!b.is_empty(), "collect must make progress");
+            drained += b.len();
+        }
+        assert_eq!(drained, 6);
+    }
+
+    /// Bounded queue: submissions beyond the configured depth are rejected
+    /// with a typed `Overloaded` carrying a nonzero backoff hint, and a
+    /// rejected request never occupies a slot.
+    #[test]
+    fn full_queue_rejects_with_typed_overload() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let slot = slot_for(&db, &[1, 2, 3]);
+        let q = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+
+        let core = SchedulerCore::new(
+            Arc::new(WorkStealingPool::new(1)),
+            BatchPolicy {
+                max_queue_requests: 2,
+                ..BatchPolicy::default()
+            },
+            Arc::new(SystemClock::new()),
+        );
+        // No scheduler thread: the queue just fills.
+        let (p1, _r1) = pending(&slot, q.clone(), 0, 1, None);
+        let (p2, _r2) = pending(&slot, q.clone(), 0, 1, None);
+        core.enqueue(p1).unwrap();
+        core.enqueue(p2).unwrap();
+        let (p3, _r3) = pending(&slot, q.clone(), 0, 1, None);
+        match core.enqueue(p3) {
+            Err(ServeError::Overloaded {
+                queued_requests,
+                retry_after_hint,
+                ..
+            }) => {
+                assert_eq!(queued_requests, 2);
+                assert!(retry_after_hint > Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(core.queue.lock().len(), 2, "rejected request took no slot");
+        assert_eq!(core.stats.snapshot().rejected_overload, 1);
+
+        // The byte bound rejects independently of the request bound.
+        let tight = SchedulerCore::new(
+            Arc::new(WorkStealingPool::new(1)),
+            BatchPolicy {
+                max_queue_bytes: 10,
+                ..BatchPolicy::default()
+            },
+            Arc::new(SystemClock::new()),
+        );
+        let (p, _r) = pending(&slot, q.clone(), 0, 1, None);
+        assert!(matches!(
+            tight.enqueue(p),
+            Err(ServeError::Overloaded { .. })
+        ));
+    }
+
+    /// Deadline shedding is driven by the injectable clock: requests whose
+    /// deadline passes while queued are shed, unexpired ones execute.
+    #[test]
+    fn expired_requests_are_shed_not_executed() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let slot = slot_for(&db, &[1, 2, 3]);
+        let q = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+
+        let clock = ManualClock::new();
+        let policy = BatchPolicy::default();
+        let mut queue = SchedQueue::default();
+        let (expired, _r1) = pending(&slot, q.clone(), 0, 1, Some(Duration::from_millis(10)));
+        let (alive, _r2) = pending(&slot, q.clone(), 1, 1, Some(Duration::from_secs(60)));
+        let (forever, _r3) = pending(&slot, q.clone(), 0, 1, None);
+        queue.push(expired);
+        queue.push(alive);
+        queue.push(forever);
+
+        clock.advance(Duration::from_millis(11));
+        let (batch, shed) = queue.collect(&policy, clock.now());
+        assert_eq!(shed.len(), 1, "only the expired request is shed");
+        assert_eq!(shed[0].deadline, Some(Duration::from_millis(10)));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(queue.len(), 0);
+
+        // The deadline boundary itself sheds (est_exec = 0, now == dl):
+        // a request that cannot finish strictly inside its deadline is
+        // counted as failed by the SLO, so executing it wastes capacity.
+        let mut queue = SchedQueue::default();
+        let (boundary, _r4) = pending(&slot, q.clone(), 0, 1, Some(clock.now()));
+        queue.push(boundary);
+        let (batch, shed) = queue.collect(&policy, clock.now());
+        assert!(batch.is_empty());
+        assert_eq!(shed.len(), 1);
+    }
+
+    /// Batches respect `max_batch` and the remainder stays queued in
+    /// arrival order per session.
+    #[test]
+    fn batches_are_bounded_by_policy() {
+        let model_cfg = ModelConfig::tiny();
+        let db = Db::new(DbConfig::for_tests(model_cfg.clone()));
+        let slot = slot_for(&db, &[1, 2, 3]);
+        let q = vec![vec![0.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+        let policy = BatchPolicy {
+            max_batch: 3,
+            ..BatchPolicy::default()
+        };
+        let mut queue = SchedQueue::default();
+        for _ in 0..8 {
+            let (p, _r) = pending(&slot, q.clone(), 0, 1, None);
+            queue.push(p);
+        }
+        let (b1, _) = queue.collect(&policy, Duration::ZERO);
+        assert_eq!(b1.len(), 3);
+        let (b2, _) = queue.collect(&policy, Duration::ZERO);
+        assert_eq!(b2.len(), 3);
+        let (b3, _) = queue.collect(&policy, Duration::ZERO);
+        assert_eq!(b3.len(), 2);
+        assert_eq!(queue.len(), 0);
     }
 }

@@ -6,7 +6,8 @@
 //! single-caller path — and admission control must fail closed with a
 //! typed error, never a panic.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use alaya_core::{Db, DbConfig};
 use alaya_device::memory::MemoryTracker;
@@ -327,6 +328,177 @@ fn store_while_serving_publishes_atomically_and_never_blocks_attention() {
 
     engine.close(tenant_sid).unwrap();
     engine.close(store_sid).unwrap();
+}
+
+/// Deadline shedding releases everything: a request shed with
+/// `DeadlineExceeded` gets a typed retryable error, the shed is counted,
+/// and closing the session returns the tracker to baseline — the
+/// scheduler must not keep the session slot (and its reservation) alive
+/// past the shed reply.
+#[test]
+fn deadline_shed_is_typed_retryable_and_releases_reservations() {
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    // A zero default deadline expires the moment the scheduler looks:
+    // every attention is shed, deterministically.
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeOptions {
+            default_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        },
+    );
+
+    let (sid, _) = engine.admit(&[1, 2, 3]).unwrap();
+    let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+    let kv = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_kv_heads];
+    engine.update(sid, &queries, &kv, &kv, 0).unwrap();
+
+    for _ in 0..3 {
+        match engine.attention(sid, &queries, 0) {
+            Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                assert!(e.is_retryable(), "shedding is transient");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    assert!(engine.stats().shed_deadline >= 3);
+    assert_eq!(engine.stats().requests, 0, "shed requests never execute");
+
+    // A per-request deadline overrides the hopeless default and serves.
+    let out = engine
+        .attention_with_deadline(sid, queries.clone(), 0, Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(out.len(), model_cfg.n_q_heads);
+
+    engine.close(sid).unwrap();
+    assert_eq!(
+        db.gpu().in_use(),
+        0,
+        "shed paths must not leak reservations"
+    );
+}
+
+/// Bounded queue under a synchronized burst: with the dispatch window
+/// holding a batch open and the queue capped below the offered
+/// concurrency, some submissions are rejected with a typed `Overloaded`
+/// (never a panic, never silent growth), the rest serve normally, and no
+/// reservation leaks either way.
+#[test]
+fn overloaded_queue_rejects_typed_and_leaks_nothing() {
+    const CALLERS: usize = 6;
+    const MAX_QUEUE: usize = 2;
+
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeOptions {
+            // Long linger: the first arrivals sit in the queue while the
+            // rest of the burst slams into the cap.
+            dispatch_window: Some(Duration::from_millis(300)),
+            max_queue_requests: MAX_QUEUE,
+            ..Default::default()
+        },
+    );
+
+    let barrier = Barrier::new(CALLERS);
+    let (oks, overloaded) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..CALLERS {
+            let engine = &engine;
+            let barrier = &barrier;
+            let model_cfg = &model_cfg;
+            handles.push(s.spawn(move || {
+                let (sid, _) = engine.admit(&[t as u32, 1, 2]).unwrap();
+                let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+                let kv = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_kv_heads];
+                engine.update(sid, &queries, &kv, &kv, 0).unwrap();
+                barrier.wait();
+                let verdict = match engine.attention(sid, &queries, 0) {
+                    Ok(out) => {
+                        assert_eq!(out.len(), model_cfg.n_q_heads);
+                        (1u32, 0u32)
+                    }
+                    Err(ServeError::Overloaded {
+                        queued_requests,
+                        retry_after_hint,
+                        ..
+                    }) => {
+                        assert!(queued_requests >= MAX_QUEUE);
+                        assert!(retry_after_hint > Duration::ZERO);
+                        (0, 1)
+                    }
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                };
+                engine.close(sid).unwrap();
+                verdict
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u32, 0u32), |(a, b), (x, y)| (a + x, b + y))
+    });
+
+    assert_eq!(oks + overloaded, CALLERS as u32, "exactly one reply each");
+    assert!(oks >= 1, "queued requests must still serve");
+    assert!(
+        overloaded >= 1,
+        "a {CALLERS}-wide burst into a {MAX_QUEUE}-slot queue must reject"
+    );
+    assert_eq!(engine.stats().rejected_overload, overloaded as u64);
+    assert_eq!(
+        db.gpu().in_use(),
+        0,
+        "rejections must not leak reservations"
+    );
+}
+
+/// Closing a session while its attention request is still queued: the
+/// in-flight request executes correctly off the scheduler's own slot
+/// reference, and the reservation is fully released once the reply lands
+/// — no use-after-close, no leak.
+#[test]
+fn close_mid_flight_serves_the_request_and_releases_the_reservation() {
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeOptions {
+            // Linger long enough for the close below to land while the
+            // request is still queued.
+            dispatch_window: Some(Duration::from_millis(100)),
+            ..Default::default()
+        },
+    );
+
+    let prompt = [9u32, 8, 7];
+    let (sid, _) = engine.admit(&prompt).unwrap();
+    let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+    let kv = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_kv_heads];
+    engine.update(sid, &queries, &kv, &kv, 0).unwrap();
+
+    let (mut reference, _) = db.create_session(&prompt);
+    reference.update(&queries, &kv, &kv, 0);
+    let want = reference.attention_sequential(&queries, 0);
+
+    let served = std::thread::scope(|s| {
+        let engine = &engine;
+        let q = queries.clone();
+        let caller = s.spawn(move || engine.attention_owned(sid, q, 0));
+        // Close while the request lingers in the dispatch window.
+        std::thread::sleep(Duration::from_millis(20));
+        engine.close(sid).unwrap();
+        caller.join().unwrap()
+    });
+    assert_eq!(served.unwrap(), want, "mid-flight close must not corrupt");
+    assert_eq!(engine.n_sessions(), 0);
+    assert_eq!(
+        db.gpu().in_use(),
+        0,
+        "reply landed => scheduler dropped the slot => reservation home"
+    );
 }
 
 /// Admitted-but-rejected callers racing from many threads: the tracker

@@ -1,0 +1,225 @@
+//! Storage failpoints: a [`BlockDevice`] that injects I/O errors.
+//!
+//! [`ChaosDevice`] wraps any shared device and consults an
+//! [`alaya_chaos::Chaos`] registry before each operation; an armed site
+//! turns the call into a typed `io::Error` (surfaced upstream as
+//! [`crate::StorageError::Io`]) without touching the inner device. Because
+//! every layer above ([`crate::BufferManager`], [`crate::VectorFile`])
+//! already threads `Result` end-to-end, chaos tests can assert the real
+//! invariants: injected faults produce typed errors (never panics), no
+//! page pin leaks, and once the failpoint exhausts the data underneath is
+//! intact.
+//!
+//! Sites: [`CHAOS_READ`], [`CHAOS_WRITE`], [`CHAOS_GROW`], [`CHAOS_SYNC`].
+
+use std::io;
+use std::sync::Arc;
+
+use alaya_chaos::Chaos;
+
+use crate::device::BlockDevice;
+
+/// Failpoint: fires on [`BlockDevice::read_block`].
+pub const CHAOS_READ: &str = "storage.device.read_error";
+/// Failpoint: fires on [`BlockDevice::write_block`].
+pub const CHAOS_WRITE: &str = "storage.device.write_error";
+/// Failpoint: fires on [`BlockDevice::grow`].
+pub const CHAOS_GROW: &str = "storage.device.grow_error";
+/// Failpoint: fires on [`BlockDevice::sync`].
+pub const CHAOS_SYNC: &str = "storage.device.sync_error";
+
+fn injected(site: &str) -> io::Error {
+    io::Error::other(format!("chaos: injected fault at {site}"))
+}
+
+/// A [`BlockDevice`] decorator that injects deterministic I/O faults.
+pub struct ChaosDevice {
+    inner: Arc<dyn BlockDevice>,
+    chaos: Arc<Chaos>,
+}
+
+impl ChaosDevice {
+    /// Wraps `inner`, consulting `chaos` before every operation.
+    pub fn new(inner: Arc<dyn BlockDevice>, chaos: Arc<Chaos>) -> Arc<Self> {
+        Arc::new(Self { inner, chaos })
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &Arc<dyn BlockDevice> {
+        &self.inner
+    }
+}
+
+impl BlockDevice for ChaosDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn n_blocks(&self) -> u64 {
+        self.inner.n_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> io::Result<()> {
+        if self.chaos.should_fire(CHAOS_READ) {
+            return Err(injected(CHAOS_READ));
+        }
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> io::Result<()> {
+        if self.chaos.should_fire(CHAOS_WRITE) {
+            return Err(injected(CHAOS_WRITE));
+        }
+        self.inner.write_block(block, data)
+    }
+
+    fn grow(&self, n: u64) -> io::Result<u64> {
+        if self.chaos.should_fire(CHAOS_GROW) {
+            return Err(injected(CHAOS_GROW));
+        }
+        self.inner.grow(n)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.chaos.should_fire(CHAOS_SYNC) {
+            return Err(injected(CHAOS_SYNC));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferManager;
+    use crate::device::MemDevice;
+    use crate::file::VectorFile;
+    use crate::StorageError;
+
+    fn vecs(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..dim).map(|d| (i * dim + d) as f32 * 0.5).collect())
+            .collect()
+    }
+
+    /// Injected faults surface as typed `StorageError::Io`, never panics,
+    /// and once the failpoint exhausts the data underneath reads back
+    /// bitwise-identical — errors during reads corrupted nothing.
+    #[test]
+    fn injected_read_errors_are_typed_and_data_survives() {
+        let dim = 8;
+        let data = vecs(40, dim);
+        // Small blocks: the 40 vectors span many blocks, so with a
+        // 1-frame pool below every read misses and hits the device —
+        // with `DEFAULT_BLOCK_SIZE` they would all share one cached
+        // block and the failpoint would never be consulted.
+        let inner: Arc<MemDevice> = Arc::new(MemDevice::new(64));
+        let chaos = Chaos::new(0x57A6);
+
+        // Build the file through a fault-free path first.
+        let mgr = BufferManager::new(4);
+        let file = VectorFile::create(Arc::clone(&mgr), inner.clone() as Arc<dyn BlockDevice>, dim)
+            .unwrap();
+        for v in &data {
+            file.append(v).unwrap();
+        }
+        file.flush().unwrap();
+        drop(file);
+
+        // Reopen the same blocks through a chaotic device and a cold
+        // buffer pool (1 frame, so every read misses and hits the device).
+        let chaotic = ChaosDevice::new(inner.clone() as Arc<dyn BlockDevice>, Arc::clone(&chaos));
+        let mgr2 = BufferManager::new(1);
+        let file = VectorFile::open(Arc::clone(&mgr2), chaotic as Arc<dyn BlockDevice>).unwrap();
+        assert_eq!(file.n_vectors(), data.len());
+
+        chaos.arm(CHAOS_READ, 0.5);
+        let mut out = vec![0.0f32; dim];
+        let mut errors = 0u32;
+        let mut oks = 0u32;
+        for round in 0..4 {
+            for (i, want) in data.iter().enumerate() {
+                match file.read_vector(i as u32, &mut out) {
+                    Ok(()) => {
+                        assert_eq!(&out, want, "round {round} vector {i}");
+                        oks += 1;
+                    }
+                    Err(StorageError::Io(e)) => {
+                        assert!(e.to_string().contains("chaos"), "typed injected error");
+                        errors += 1;
+                    }
+                    Err(other) => panic!("unexpected error kind: {other:?}"),
+                }
+            }
+        }
+        assert!(errors > 0, "p=0.5 over 160 reads must inject");
+        assert!(oks > 0, "p=0.5 over 160 reads must also succeed");
+        assert_eq!(chaos.fires(CHAOS_READ) as u32, errors);
+
+        // Failed pins must not leak: with a 1-frame pool, any leaked pin
+        // would wedge every later read with BufferFull. Disarm and prove
+        // the whole file still reads back intact.
+        chaos.disarm(CHAOS_READ);
+        for (i, want) in data.iter().enumerate() {
+            file.read_vector(i as u32, &mut out).unwrap();
+            assert_eq!(&out, want, "post-chaos vector {i}");
+        }
+    }
+
+    /// Write-path faults fail the append with a typed error and the file
+    /// keeps accepting appends afterwards.
+    #[test]
+    fn injected_write_and_grow_errors_fail_closed() {
+        let dim = 4;
+        let inner: Arc<MemDevice> = Arc::new(MemDevice::new(256));
+        let chaos = Chaos::new(0xBAD5EED);
+        let chaotic = ChaosDevice::new(inner as Arc<dyn BlockDevice>, Arc::clone(&chaos));
+        let mgr = BufferManager::new(4);
+        let file =
+            VectorFile::create(Arc::clone(&mgr), chaotic as Arc<dyn BlockDevice>, dim).unwrap();
+
+        let v = vec![1.0f32; dim];
+        file.append(&v).unwrap();
+
+        // Every grow fails while armed: appends that need a fresh block
+        // error typed; the earlier vector is untouched.
+        chaos.arm(CHAOS_GROW, 1.0);
+        let mut saw_error = false;
+        for _ in 0..256 {
+            match file.append(&v) {
+                Ok(_) => {}
+                Err(StorageError::Io(_)) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error kind: {other:?}"),
+            }
+        }
+        assert!(saw_error, "grow faults must surface before 256 appends");
+        chaos.disarm(CHAOS_GROW);
+
+        let n_before = file.n_vectors();
+        file.append(&v).unwrap();
+        assert_eq!(file.n_vectors(), n_before + 1, "file serves after chaos");
+        let mut out = vec![0.0f32; dim];
+        file.read_vector(0, &mut out).unwrap();
+        assert_eq!(out, v);
+    }
+
+    /// The decorator is transparent when no site is armed.
+    #[test]
+    fn unarmed_chaos_device_is_a_passthrough() {
+        let inner: Arc<MemDevice> = Arc::new(MemDevice::new(128));
+        let chaos = Chaos::new(1);
+        let dev = ChaosDevice::new(inner as Arc<dyn BlockDevice>, chaos);
+        assert_eq!(dev.block_size(), 128);
+        let first = dev.grow(2).unwrap();
+        assert_eq!(first, 0);
+        let data = vec![7u8; 128];
+        dev.write_block(1, &data).unwrap();
+        let mut buf = vec![0u8; 128];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        dev.sync().unwrap();
+    }
+}

@@ -26,11 +26,15 @@
 
 pub mod buffer;
 pub mod device;
+#[cfg(feature = "chaos")]
+pub mod failpoint;
 pub mod file;
 pub mod vsource;
 
 pub use buffer::{BlockKind, BufferManager, BufferStats, PageGuard};
 pub use device::{BlockDevice, FileDevice, MemDevice};
+#[cfg(feature = "chaos")]
+pub use failpoint::ChaosDevice;
 pub use file::VectorFile;
 pub use vsource::BufferedVectorSource;
 
