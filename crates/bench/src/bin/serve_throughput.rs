@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use alaya_bench::{fmt_secs, print_header, print_row, write_json, Scale};
+use alaya_bench::{fmt_secs, print_header, print_row, results_dir, write_json, Scale};
 use alaya_core::{Db, DbConfig};
 use alaya_llm::{KvCache, ModelConfig};
 use alaya_serve::{ServeEngine, ServeError, ServeOptions};
@@ -118,6 +118,10 @@ fn gen_inputs(model: &ModelConfig, steps: usize, seed: u64) -> StepInputs {
 fn main() {
     let scale = Scale::from_args();
     let quick_env = std::env::var_os("ALAYA_BENCH_QUICK").is_some();
+    if std::env::args().any(|a| a == "--telemetry-overhead") {
+        telemetry_overhead(quick_env);
+        return;
+    }
     let model = model();
     let context_len = if quick_env {
         256
@@ -430,4 +434,251 @@ fn overload_sweep(
             cells,
         },
     );
+}
+
+/// One arm of the telemetry-overhead A/B. The same binary is built twice
+/// — default (instrumented) and `--features telemetry-off` (every
+/// histogram/recorder record path compiled to a no-op) — and each build
+/// runs `--telemetry-overhead` over an identical fixed workload. Each run
+/// merges its numbers into `results/BENCH_telemetry_overhead.json`; once
+/// both arms have run, the file also carries the computed regressions
+/// (target: ≤2% on admitted p50 and on throughput).
+fn telemetry_overhead(quick: bool) {
+    const SESSIONS: usize = 4;
+    const THREADS: usize = 2;
+
+    let model = model();
+    let context_len = if quick { 256 } else { 2048 };
+    let steps = if quick { 8 } else { 32 };
+    let reps = if quick { 2 } else { 10 };
+    let mode = if cfg!(feature = "telemetry-off") {
+        "telemetry_off"
+    } else {
+        "instrumented"
+    };
+    println!(
+        "telemetry overhead arm: mode={mode}, sessions={SESSIONS}, threads={THREADS}, \
+         context={context_len}, steps={steps}, best of {reps} reps"
+    );
+
+    let db = build_db(&model, context_len);
+    let mut prompt: Vec<u32> = (0..context_len as u32).collect();
+    prompt.extend([700 % 264, 701 % 264]);
+    let inputs: Vec<StepInputs> = (0..SESSIONS)
+        .map(|s| gen_inputs(&model, steps, 4200 + s as u64))
+        .collect();
+
+    // Best-of-reps: arms are compared by their least-noisy run.
+    let mut best_rps = 0.0f64;
+    let mut best_secs = f64::INFINITY;
+    let mut best_p50 = f64::INFINITY;
+    let mut best_p99 = f64::INFINITY;
+    let mut sched_total_p50 = f64::INFINITY;
+    let mut requests = 0usize;
+    for _ in 0..reps {
+        let engine = ServeEngine::with_options(
+            Arc::clone(&db),
+            ServeOptions {
+                threads: THREADS,
+                ..Default::default()
+            },
+        );
+        let ids: Vec<_> = (0..SESSIONS)
+            .map(|_| engine.admit(&prompt).expect("admission").0)
+            .collect();
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = ids
+                .iter()
+                .zip(&inputs)
+                .map(|(sid, inp)| {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        let mut lat = Vec::with_capacity(inp.len() * inp[0].len());
+                        for step in inp {
+                            for (layer, (q, k, v)) in step.iter().enumerate() {
+                                engine.update(*sid, q, k, v, layer).unwrap();
+                                let r0 = Instant::now();
+                                std::hint::black_box(engine.attention(*sid, q, layer).unwrap());
+                                lat.push(r0.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        requests = latencies.len();
+        let rps = requests as f64 / secs;
+        if rps > best_rps {
+            best_rps = rps;
+            best_secs = secs;
+        }
+        best_p50 = best_p50.min(percentile(&latencies, 0.50));
+        best_p99 = best_p99.min(percentile(&latencies, 0.99));
+        // Reconciliation field: the scheduler's own enqueue→reply p50.
+        // The externally measured p50 above includes submit/channel
+        // overhead, so it must sit at or above this; only the
+        // instrumented arm has the histogram.
+        let t = engine.telemetry();
+        if t.stages.total.count > 0 {
+            sched_total_p50 = sched_total_p50.min(t.stages.total.p50.as_nanos() as f64);
+        }
+        for sid in ids {
+            engine.close(sid).expect("close");
+        }
+    }
+
+    let mut arm: Vec<(&str, f64)> = vec![
+        ("requests_per_sec", best_rps),
+        ("p50_admitted_ns", best_p50),
+        ("p99_admitted_ns", best_p99),
+        ("engine_seconds", best_secs),
+        ("requests", requests as f64),
+        ("context_len", context_len as f64),
+        ("steps_per_session", steps as f64),
+    ];
+    if sched_total_p50.is_finite() {
+        arm.push(("sched_total_p50_ns", sched_total_p50));
+    }
+    println!(
+        "  {mode}: {best_rps:.0} req/s, p50 {}, p99 {}",
+        fmt_secs(best_p50 / 1e9),
+        fmt_secs(best_p99 / 1e9),
+    );
+    merge_overhead_record(mode, &arm);
+}
+
+/// Every numeric field an arm records (used to re-extract the *other*
+/// arm's numbers from the existing JSON when merging).
+const ARM_KEYS: [&str; 8] = [
+    "requests_per_sec",
+    "p50_admitted_ns",
+    "p99_admitted_ns",
+    "engine_seconds",
+    "requests",
+    "context_len",
+    "steps_per_session",
+    "sched_total_p50_ns",
+];
+
+/// Pulls `"key": <number>` out of the JSON text section starting at
+/// `"mode"`. Hand-rolled: the workspace's serde_json shim only renders
+/// JSON, it cannot parse it.
+fn extract_num(text: &str, mode: &str, key: &str) -> Option<f64> {
+    let section = &text[text.find(&format!("\"{mode}\""))?..];
+    let rest = &section[section.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn render_arm(vals: &[(&str, f64)]) -> String {
+    let fields: Vec<String> = vals
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n  }}", fields.join(",\n"))
+}
+
+/// Folds a previous run of the *same* arm into this one, keeping the
+/// better number per field (higher throughput, lower latencies): each arm
+/// converges to its noise floor as the A/B pair is re-run, which is what
+/// the two builds should be compared by — the container's background load
+/// swings far more between processes than the instrumentation costs.
+/// Only applies when the workload parameters match.
+fn best_of_self(mine: &mut Vec<(&str, f64)>, old: &str, mode: &str) {
+    let same_workload = ["context_len", "steps_per_session", "requests"]
+        .iter()
+        .all(|k| {
+            extract_num(old, mode, k) == mine.iter().find_map(|(mk, mv)| (mk == k).then_some(*mv))
+        });
+    if !same_workload {
+        return;
+    }
+    for (k, v) in mine.iter_mut() {
+        let Some(prev) = extract_num(old, mode, k) else {
+            continue;
+        };
+        *v = match *k {
+            "requests_per_sec" => v.max(prev),
+            "p50_admitted_ns" | "p99_admitted_ns" | "engine_seconds" | "sched_total_p50_ns" => {
+                v.min(prev)
+            }
+            _ => *v,
+        };
+    }
+}
+
+/// Merges this build's arm into `results/BENCH_telemetry_overhead.json`,
+/// preserving the other arm's numbers if a previous run wrote them, and
+/// computing the regressions once both arms are present.
+fn merge_overhead_record(mode: &str, mine: &[(&str, f64)]) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("BENCH_telemetry_overhead.json");
+    let old = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut mine = mine.to_vec();
+    best_of_self(&mut mine, &old, mode);
+    let mine = &mine[..];
+    let other_mode = if mode == "instrumented" {
+        "telemetry_off"
+    } else {
+        "instrumented"
+    };
+    let other: Vec<(&str, f64)> = ARM_KEYS
+        .iter()
+        .filter_map(|k| extract_num(&old, other_mode, k).map(|v| (*k, v)))
+        .collect();
+
+    let lookup = |arm: &[(&str, f64)], key: &str| {
+        arm.iter()
+            .find_map(|(k, v)| (*k == key).then_some(*v))
+            .unwrap_or(f64::NAN)
+    };
+    let (on, off) = if mode == "instrumented" {
+        (Some(mine), (!other.is_empty()).then_some(&other[..]))
+    } else {
+        ((!other.is_empty()).then_some(&other[..]), Some(mine))
+    };
+
+    let mut sections = Vec::new();
+    if let Some(on) = on {
+        sections.push(format!("  \"instrumented\": {}", render_arm(on)));
+    }
+    if let Some(off) = off {
+        sections.push(format!("  \"telemetry_off\": {}", render_arm(off)));
+    }
+    if let (Some(on), Some(off)) = (on, off) {
+        // Positive = instrumentation costs something; the budget is ≤2%.
+        let thr = (lookup(off, "requests_per_sec") - lookup(on, "requests_per_sec"))
+            / lookup(off, "requests_per_sec")
+            * 100.0;
+        let p50 = (lookup(on, "p50_admitted_ns") - lookup(off, "p50_admitted_ns"))
+            / lookup(off, "p50_admitted_ns")
+            * 100.0;
+        let p99 = (lookup(on, "p99_admitted_ns") - lookup(off, "p99_admitted_ns"))
+            / lookup(off, "p99_admitted_ns")
+            * 100.0;
+        sections.push(format!(
+            "  \"overhead\": {{\n    \"throughput_regression_pct\": {thr},\n    \
+             \"p50_regression_pct\": {p50},\n    \"p99_regression_pct\": {p99},\n    \
+             \"budget_pct\": 2\n  }}"
+        ));
+        println!(
+            "  overhead vs telemetry_off: throughput {thr:+.2}%, p50 {p50:+.2}%, p99 {p99:+.2}% \
+             (budget 2%)"
+        );
+    }
+    let body = format!("{{\n{}\n}}", sections.join(",\n"));
+    if std::fs::write(&path, body).is_ok() {
+        eprintln!("[wrote {}]", path.display());
+    }
 }

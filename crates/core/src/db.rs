@@ -34,6 +34,7 @@ use std::sync::Arc;
 
 use alaya_device::memory::MemoryTracker;
 use alaya_llm::kv::KvCache;
+use alaya_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::config::DbConfig;
@@ -69,12 +70,50 @@ impl ContextTable {
     }
 }
 
+/// Lifetime counters for one [`Db`] — telemetry cells, registerable into
+/// an engine's metric registry via [`DbStats::register_into`].
+#[derive(Default)]
+pub struct DbStats {
+    sessions_created: Arc<Counter>,
+    contexts_imported: Arc<Counter>,
+    contexts_adopted: Arc<Counter>,
+    store_failures: Arc<Counter>,
+}
+
+impl DbStats {
+    /// Sessions opened via [`Db::create_session`].
+    pub fn sessions_created(&self) -> u64 {
+        self.sessions_created.get()
+    }
+    /// Contexts published through `import`/`store` (sync or background).
+    pub fn contexts_imported(&self) -> u64 {
+        self.contexts_imported.get()
+    }
+    /// Contexts adopted from external assembly ([`Db::adopt`]).
+    pub fn contexts_adopted(&self) -> u64 {
+        self.contexts_adopted.get()
+    }
+    /// Background store builds that panicked instead of publishing.
+    pub fn store_failures(&self) -> u64 {
+        self.store_failures.get()
+    }
+    /// Attaches these cells to `registry` under `core.db.*`. First
+    /// registration wins; the getters read the same cells either way.
+    pub fn register_into(&self, registry: &Registry) {
+        registry.register_counter("core.db.sessions_created", &self.sessions_created);
+        registry.register_counter("core.db.contexts_imported", &self.contexts_imported);
+        registry.register_counter("core.db.contexts_adopted", &self.contexts_adopted);
+        registry.register_counter("core.db.store_failures", &self.store_failures);
+    }
+}
+
 /// An AlayaDB instance: stored contexts (prompts, KV caches, vector
 /// indexes) plus the machinery to open sessions against them.
 pub struct Db {
     cfg: DbConfig,
     contexts: RwLock<ContextTable>,
     next_id: AtomicU64,
+    stats: DbStats,
 }
 
 impl Db {
@@ -85,12 +124,18 @@ impl Db {
             cfg,
             contexts: RwLock::new_named(ContextTable::default(), "core.db.contexts"),
             next_id: AtomicU64::new(0),
+            stats: DbStats::default(),
         }
     }
 
     /// The database configuration.
     pub fn config(&self) -> &DbConfig {
         &self.cfg
+    }
+
+    /// This database's lifetime counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
     }
 
     /// The GPU budget tracker the optimizer probes.
@@ -116,6 +161,7 @@ impl Db {
     /// (always at least one token, so the engine can produce logits).
     pub fn create_session(&self, prompt: &[u32]) -> (Session, Vec<u32>) {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
+        self.stats.sessions_created.inc();
         let contexts = self.contexts.read();
         let best = contexts
             .order
@@ -179,6 +225,7 @@ impl Db {
         let _unreserve = Unreserve(self, id);
         let ctx = StoredContext::build(id, tokens, kv, queries, &self.cfg);
         self.contexts.write().insert(Arc::new(ctx));
+        self.stats.contexts_imported.inc();
         id
     }
 
@@ -201,6 +248,7 @@ impl Db {
         }
         let id = ctx.id;
         contexts.insert(Arc::new(ctx));
+        self.stats.contexts_adopted.inc();
         id
     }
 
@@ -281,9 +329,13 @@ impl Db {
                 match built {
                     Ok(ctx) => {
                         contexts.insert(Arc::new(ctx));
+                        db.stats.contexts_imported.inc();
                         StoreState::Ready
                     }
-                    Err(payload) => StoreState::Failed(panic_message(payload.as_ref())),
+                    Err(payload) => {
+                        db.stats.store_failures.inc();
+                        StoreState::Failed(panic_message(payload.as_ref()))
+                    }
                 }
             };
             *task_shared.state.lock() = state;

@@ -29,6 +29,6 @@ pub mod spec;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use cost::{CostModel, ModelShape};
 pub use memory::{MemoryGuard, MemoryTracker, OutOfMemory};
-pub use pool::WorkStealingPool;
+pub use pool::{PoolStats, WorkStealingPool};
 pub use slo::{DispatchBudget, Slo, SloReport};
 pub use spec::{DeviceKind, DeviceSpec, LinkSpec};

@@ -33,7 +33,47 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use alaya_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex};
+
+/// Lifetime counters for one pool. Telemetry cells (single relaxed RMWs
+/// off the queue locks), registerable into an engine's metric registry
+/// via [`PoolStats::register_into`].
+#[derive(Default)]
+pub struct PoolStats {
+    tasks_executed: Arc<Counter>,
+    tasks_stolen: Arc<Counter>,
+    panics_contained: Arc<Counter>,
+}
+
+impl PoolStats {
+    /// Tasks run to completion — by workers, and by scope owners helping
+    /// while they wait.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed.get()
+    }
+
+    /// Tasks a worker obtained by stealing from another worker's deque —
+    /// the load-balancing activity of the pool.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen.get()
+    }
+
+    /// Panics contained by the pool's wrappers (detached tasks discard
+    /// theirs; scoped tasks also re-raise in their scope owner).
+    pub fn panics_contained(&self) -> u64 {
+        self.panics_contained.get()
+    }
+
+    /// Attaches these cells to `registry` under `device.pool.*` so an
+    /// engine-level snapshot covers the execution substrate. First
+    /// registration wins; the getters read the same cells either way.
+    pub fn register_into(&self, registry: &Registry) {
+        registry.register_counter("device.pool.tasks_executed", &self.tasks_executed);
+        registry.register_counter("device.pool.tasks_stolen", &self.tasks_stolen);
+        registry.register_counter("device.pool.panics_contained", &self.panics_contained);
+    }
+}
 
 /// A queued unit of work, tagged with the scope that spawned it (`0` for
 /// detached [`WorkStealingPool::execute`] tasks) so a scope owner helping
@@ -58,6 +98,7 @@ struct Shared {
     /// Workers currently parked (or about to park) on `wake`; lets `push`
     /// skip the parking lock entirely while the pool is busy.
     idle_workers: AtomicUsize,
+    stats: PoolStats,
     /// Armed failpoint registry (chaos builds only); a `OnceLock` rather
     /// than a lock so probing it adds no lock site and no ordering edges.
     #[cfg(feature = "chaos")]
@@ -86,6 +127,9 @@ impl Shared {
         for off in 1..=n {
             let victim = (worker + off) % n;
             if let Some(t) = self.queues[victim].lock().pop_front() {
+                if victim != worker {
+                    self.stats.tasks_stolen.inc();
+                }
                 return Some(t);
             }
         }
@@ -127,14 +171,17 @@ impl Shared {
 /// a worker thread (silently shrinking the pool) nor unwind through the
 /// owner-helping loop in [`WorkStealingPool::scope`], whose early exit
 /// would free a frame that still-running scoped tasks borrow.
-fn run_task(task: Task) {
-    let _ = catch_unwind(AssertUnwindSafe(task.f));
+fn run_task(stats: &PoolStats, task: Task) {
+    if catch_unwind(AssertUnwindSafe(task.f)).is_err() {
+        stats.panics_contained.inc();
+    }
+    stats.tasks_executed.inc();
 }
 
 fn worker_loop(shared: Arc<Shared>, id: usize) {
     loop {
         if let Some(task) = shared.find_task(id) {
-            run_task(task);
+            run_task(&shared.stats, task);
             continue;
         }
         let guard = shared.idle.lock();
@@ -144,7 +191,7 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
             // takes `&mut self`), so whatever the queues still hold is the
             // already-submitted work `execute`'s contract promises to run.
             while let Some(task) = shared.find_task(id) {
-                run_task(task);
+                run_task(&shared.stats, task);
             }
             return;
         }
@@ -158,7 +205,7 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
         if let Some(task) = shared.find_task(id) {
             shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
             drop(guard);
-            run_task(task);
+            run_task(&shared.stats, task);
             continue;
         }
         // Long backstop: the registration protocol above cannot miss a
@@ -197,6 +244,7 @@ impl WorkStealingPool {
             shutdown: AtomicBool::new(false),
             next: AtomicUsize::new(0),
             idle_workers: AtomicUsize::new(0),
+            stats: PoolStats::default(),
             #[cfg(feature = "chaos")]
             chaos: OnceLock::new(),
         });
@@ -215,6 +263,12 @@ impl WorkStealingPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// This pool's lifetime counters (executed / stolen / contained
+    /// panics).
+    pub fn stats(&self) -> &PoolStats {
+        &self.shared.stats
     }
 
     /// Installs the failpoint registry scoped tasks probe (first call
@@ -267,7 +321,7 @@ impl WorkStealingPool {
                 // `run_task` contains panics: a task that panicked bare
                 // would unwind this loop out of `scope` while
                 // `remaining > 0` — freeing the frame its tasks borrow.
-                run_task(task);
+                run_task(&self.shared.stats, task);
                 continue;
             }
             let mut guard = state.done.lock();
@@ -395,6 +449,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             )
         };
         let scope = Arc::as_ptr(&self.state) as usize;
+        let panics = Arc::clone(&self.pool.shared.stats.panics_contained);
         #[cfg(feature = "chaos")]
         let shared = Arc::clone(&self.pool.shared);
         self.pool.shared.push(Task {
@@ -416,6 +471,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                 });
                 if catch_unwind(guarded).is_err() {
                     state.panicked.store(true, Ordering::Release);
+                    // Counted here, at the containment point: `run_task`'s
+                    // outer catch never sees scoped panics.
+                    panics.inc();
                 }
                 if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let _g = state.done.lock();

@@ -29,6 +29,7 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
     guard_across_pool_call(file, &mut out);
     time_in_kernel(file, &mut out);
     time_outside_clock(file, &mut out);
+    no_print_in_lib(file, &mut out);
     out
 }
 
@@ -295,6 +296,43 @@ fn time_outside_clock(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Library crates whose non-test code must not write to stdout/stderr:
+/// the serving stack reports through `alaya-telemetry` (counters, spans,
+/// the flight recorder), and a stray `println!` both corrupts any
+/// machine-readable output the caller is producing and hides state from
+/// the recorder's post-mortem dumps. Binaries (bench, lint) are exempt —
+/// printing is their job.
+const NO_PRINT_CRATES: [&str; 5] = [
+    "crates/serve/src/",
+    "crates/core/src/",
+    "crates/device/src/",
+    "crates/storage/src/",
+    "crates/telemetry/src/",
+];
+
+fn no_print_in_lib(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !NO_PRINT_CRATES.iter().any(|p| file.rel_path.starts_with(p)) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for name in ["println", "eprintln", "print", "eprint", "dbg"] {
+            // `has_word` keeps `println!` from also matching inside
+            // `eprintln!`; requiring the `!` skips plain identifiers.
+            if has_word(&line.code, name) && line.code.contains(&format!("{name}!")) {
+                out.push(finding(
+                    file,
+                    i,
+                    "no-print-in-lib",
+                    format!("{name}! in non-test library code: report via telemetry instead"),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +412,34 @@ mod tests {
             "fn f() {\n let g: MutexGuard<'_, T> = slot.lock_it();\n pool.execute(|| {});\n}\n",
         );
         assert_eq!(typed.len(), 1);
+    }
+
+    #[test]
+    fn print_macros_are_flagged_in_library_code_only() {
+        let bad = findings(
+            "crates/serve/src/a.rs",
+            "println!(\"x\");\neprintln!(\"y\");\ndbg!(z);\n",
+        );
+        assert_eq!(bad.len(), 3);
+        assert!(bad.iter().all(|f| f.rule == "no-print-in-lib"));
+        // `eprintln!` is one finding, not a nested `println!` match too.
+        let eprint = findings("crates/core/src/a.rs", "eprintln!(\"y\");\n");
+        assert_eq!(eprint.len(), 1);
+        assert!(eprint[0].message.starts_with("eprintln!"));
+        // Test code, binaries, and harness crates may print freely.
+        let test = findings(
+            "crates/storage/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { println!(\"dbg\"); }\n}\n",
+        );
+        assert!(test.is_empty());
+        let bench = findings("crates/bench/src/bin/b.rs", "println!(\"row\");\n");
+        assert!(bench.is_empty());
+        // A comment or string mentioning the macro is not a call.
+        let masked = findings(
+            "crates/device/src/a.rs",
+            "// println! is banned here\nlet s = \"println!\";\n",
+        );
+        assert!(masked.is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::scheduler::{
     self, BatchPolicy, Pending, ReservationGrowth, SchedulerCore, SchedulerStats, ServeError,
     SessionSlot,
 };
+use crate::telemetry::{LaneCounters, LaneStats, TelemetrySnapshot};
 
 /// Handle to a session admitted into a [`ServeEngine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -204,6 +205,12 @@ impl ServeEngine {
         let clock: Arc<dyn Clock> = opts.clock.unwrap_or_else(|| Arc::new(SystemClock::new()));
 
         let core = Arc::new(SchedulerCore::new(pool, policy, Arc::clone(&clock)));
+        // Fold the lower layers' cells into the engine's registry so one
+        // `telemetry()` snapshot covers the whole stack (scheduler, pool,
+        // DB). Registration is first-wins: engines sharing the global pool
+        // each see the same shared cells.
+        core.pool.stats().register_into(&core.stats.registry);
+        db.stats().register_into(&core.stats.registry);
         let sched_core = Arc::clone(&core);
         let scheduler = std::thread::Builder::new()
             .name("alaya-serve-scheduler".into())
@@ -240,8 +247,60 @@ impl ServeEngine {
     }
 
     /// The dispatch policy in force (explicit, SLO-derived, or default).
+    /// Its `est_exec` is the static seed; see
+    /// [`ServeEngine::calibrated_est_exec`] for the live estimate.
     pub fn policy(&self) -> &BatchPolicy {
         &self.core.policy
+    }
+
+    /// A point-in-time telemetry snapshot: the classic counters, the
+    /// per-stage span histograms (`queue`/`plan`/`exec`/`total`), span
+    /// lifecycle counts, per-tenant lane stats, the calibrated execution
+    /// estimate, the last flight-recorder panic dump, and the full metric
+    /// registry (renderable to JSON / Prometheus text).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        // Snapshot the session table first and release its read lock
+        // *before* touching the queue lock: observability must add no
+        // `serve.sessions` → `serve.sched.queue` lock-order edge (neither
+        // lock is ever held across the other anywhere else).
+        let session_slots: Vec<(SessionId, Arc<SessionSlot>)> = {
+            let sessions = self.sessions.read();
+            sessions
+                .iter()
+                .map(|(&id, s)| (id, Arc::clone(s)))
+                .collect()
+        };
+        let overview: HashMap<usize, (usize, u64)> = {
+            let q = self.core.queue.lock();
+            q.lane_overview()
+                .into_iter()
+                .map(|(key, queued, deficit)| (key, (queued, deficit)))
+                .collect()
+        };
+        let mut lanes: Vec<LaneStats> = session_slots
+            .into_iter()
+            .map(|(id, slot)| {
+                let key = Arc::as_ptr(&slot) as usize;
+                let (queued, deficit) = overview.get(&key).copied().unwrap_or((0, 0));
+                LaneStats {
+                    session: id,
+                    queued,
+                    deficit,
+                    executed: slot.lane.executed.get(),
+                    shed_deadline: slot.lane.shed_deadline.get(),
+                    rejected_overload: slot.lane.rejected_overload.get(),
+                }
+            })
+            .collect();
+        lanes.sort_by_key(|l| l.session);
+        TelemetrySnapshot::collect(&self.core.stats, lanes)
+    }
+
+    /// The EWMA-calibrated per-batch execution estimate currently sizing
+    /// `retry_after_hint` and deadline-shedding margins. Seeded from the
+    /// cost model (or zero), then tracks observed batch wall times.
+    pub fn calibrated_est_exec(&self) -> Duration {
+        self.core.stats.est_exec()
     }
 
     /// The engine's time source (system or injected).
@@ -287,6 +346,7 @@ impl ServeEngine {
                 },
                 "serve.growth",
             ),
+            lane: LaneCounters::default(),
         });
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.sessions.write().insert(id, slot);

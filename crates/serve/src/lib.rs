@@ -35,6 +35,17 @@
 //!   feature compiles in deterministic failpoints (worker panics, slow
 //!   batches — see `alaya-chaos`) that the chaos test suite uses to prove
 //!   these properties hold *under* injected faults.
+//! * **Observability** ([`telemetry`], built on `alaya-telemetry`) —
+//!   every request's lifecycle is traced as a span
+//!   (`enqueue → batch-assemble → plan → pool-exec → reply`, or the
+//!   shed/reject exits) into log-bucketed per-stage histograms, per-tenant
+//!   lane stats ride the session slots, and a ring-buffer flight recorder
+//!   captures the events leading up to a batch panic or chaos fault.
+//!   Observed batch wall time feeds an EWMA back into the dispatch
+//!   policy's execution estimate, so `retry_after_hint` and deadline
+//!   shedding track the live machine instead of the static cost model.
+//!   [`ServeEngine::telemetry`] exposes the whole view; the `telemetry-off`
+//!   feature compiles every record path to a no-op for A/B overhead runs.
 //!
 //! [`ServeEngine`] packages the layers behind a handle-based API:
 //! `admit → update/attention (any thread) → store/close`.
@@ -47,9 +58,11 @@ pub mod admission;
 pub mod engine;
 pub mod error;
 pub mod scheduler;
+pub mod telemetry;
 
 pub use admission::AdmissionController;
 pub use alaya_device::pool::{self, Scope, WorkStealingPool};
 pub use engine::{ServeConfig, ServeEngine, ServeOptions, SessionId};
 pub use error::ServeError;
 pub use scheduler::{BatchPolicy, SchedulerStats};
+pub use telemetry::{LaneStats, SpanCounts, StageBreakdown, StageStats, TelemetrySnapshot};

@@ -48,7 +48,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 #[cfg(feature = "chaos")]
@@ -65,6 +65,9 @@ use alaya_device::memory::MemoryGuard;
 use alaya_device::pool::WorkStealingPool;
 use alaya_llm::backend::AttentionBackend as _;
 use alaya_query::optimizer::Plan;
+use alaya_telemetry::Event;
+
+use crate::telemetry::{nanos, LaneCounters, SchedTelemetry};
 
 pub use crate::error::ServeError;
 
@@ -130,6 +133,8 @@ pub(crate) struct SessionSlot {
     /// Reservation growth as the session-local KV outgrows the admitted
     /// window; dropped (releasing the bytes) with the slot.
     pub(crate) growth: Mutex<ReservationGrowth>,
+    /// Per-session outcome counters for the telemetry lane view.
+    pub(crate) lane: LaneCounters,
 }
 
 /// Tracks how many local-KV tokens the session's reservations cover and
@@ -192,31 +197,6 @@ pub struct SchedulerStats {
     pub rejected_overload: u64,
 }
 
-#[derive(Default)]
-pub(crate) struct StatsCells {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    plans_computed: AtomicU64,
-    shared_plan_requests: AtomicU64,
-    max_batch: AtomicU64,
-    shed_deadline: AtomicU64,
-    rejected_overload: AtomicU64,
-}
-
-impl StatsCells {
-    pub(crate) fn snapshot(&self) -> SchedulerStats {
-        SchedulerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            plans_computed: self.plans_computed.load(Ordering::Relaxed),
-            shared_plan_requests: self.shared_plan_requests.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// One session's FIFO lane in the deficit-round-robin queue.
 #[derive(Default)]
 struct TenantLane {
@@ -244,6 +224,16 @@ pub(crate) struct SchedQueue {
 impl SchedQueue {
     pub(crate) fn len(&self) -> usize {
         self.n_queued
+    }
+
+    /// Instantaneous per-lane view for telemetry: `(slot key, queued
+    /// requests, banked deficit)` per live lane. Idle sessions have no
+    /// lane (their deficit reset when the lane drained).
+    pub(crate) fn lane_overview(&self) -> Vec<(usize, usize, u64)> {
+        self.lanes
+            .iter()
+            .map(|(&key, lane)| (key, lane.queue.len(), lane.deficit))
+            .collect()
     }
 
     fn push(&mut self, p: Pending) {
@@ -320,7 +310,7 @@ pub(crate) struct SchedulerCore {
     pub(crate) queue: Mutex<SchedQueue>,
     pub(crate) cv: Condvar,
     pub(crate) shutdown: AtomicBool,
-    pub(crate) stats: StatsCells,
+    pub(crate) stats: SchedTelemetry,
     pub(crate) pool: Arc<WorkStealingPool>,
     pub(crate) policy: BatchPolicy,
     pub(crate) clock: Arc<dyn Clock>,
@@ -340,7 +330,9 @@ impl SchedulerCore {
             queue: Mutex::new_named(SchedQueue::default(), "serve.sched.queue"),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: StatsCells::default(),
+            // The EWMA seeds from the static cost-model estimate, then
+            // tracks observed batches.
+            stats: SchedTelemetry::new(policy.est_exec),
             pool,
             policy,
             clock,
@@ -354,6 +346,10 @@ impl SchedulerCore {
     /// never occupies a slot; its `Pending` (and the session Arc inside)
     /// is dropped here, after the queue lock is released.
     pub(crate) fn enqueue(&self, p: Pending) -> Result<(), ServeError> {
+        // Span opens at the front door; exactly one close follows —
+        // rejected here, or shed / executed / panicked on the scheduler
+        // thread.
+        self.stats.spans_opened.inc();
         let mut q = self.queue.lock();
         let over_requests = q.len() >= self.policy.max_queue_requests;
         let over_bytes = q.queued_bytes.saturating_add(p.bytes) > self.policy.max_queue_bytes;
@@ -363,28 +359,42 @@ impl SchedulerCore {
                 queued_bytes: q.queued_bytes,
                 retry_after_hint: self.retry_after_hint(q.n_queued),
             };
-            self.stats.rejected_overload.fetch_add(1, Ordering::Relaxed);
             drop(q);
+            self.stats.rejected_overload.inc();
+            self.stats.spans_rejected.inc();
+            p.slot.lane.rejected_overload.inc();
+            self.stats.recorder.record(Event::new(
+                nanos(self.clock.now()),
+                "serve.reject.overload",
+                Arc::as_ptr(&p.slot) as usize as u64,
+                p.bytes,
+                0,
+            ));
             // Dropped here — lock released first, so freeing the request's
             // session Arc (possibly the last reference) runs lock-free.
             drop(p);
             return Err(err);
         }
         q.push(p);
+        self.stats.queue_depth.set(q.n_queued as i64);
+        self.stats.queue_bytes.set(q.queued_bytes as i64);
         self.cv.notify_one();
         Ok(())
     }
 
     /// Client-backoff estimate: batches ahead of a new submission times
-    /// the per-batch execution estimate (1 ms floor when no cost model is
-    /// configured — "come back after the queue has turned over at least
-    /// once", not "hammer immediately").
+    /// the per-batch execution estimate (1 ms floor when no estimate has
+    /// been calibrated or configured — "come back after the queue has
+    /// turned over at least once", not "hammer immediately"). Uses the
+    /// EWMA-calibrated estimate, so hints track the live machine rather
+    /// than the static cost model.
     fn retry_after_hint(&self, queued: usize) -> Duration {
         let batches_ahead = (queued / self.policy.max_batch.max(1) + 1) as u32;
-        let per_batch = if self.policy.est_exec.is_zero() {
+        let est = self.stats.est_exec();
+        let per_batch = if est.is_zero() {
             Duration::from_millis(1)
         } else {
-            self.policy.est_exec
+            est
         };
         per_batch.saturating_mul(batches_ahead)
     }
@@ -394,6 +404,9 @@ impl SchedulerCore {
 /// shutdown is signalled *and* the queue is empty (queued requests are
 /// always answered — executed or shed — never dropped).
 pub(crate) fn run(core: Arc<SchedulerCore>) {
+    // Local policy copy whose `est_exec` is refreshed from the EWMA before
+    // every collect, so deadline-shedding margins track observed batches.
+    let mut policy = core.policy.clone();
     loop {
         let (batch, shed) = {
             let mut q = core.queue.lock();
@@ -430,12 +443,15 @@ pub(crate) fn run(core: Arc<SchedulerCore>) {
                     }
                 }
                 let now = core.clock.now();
-                let out = q.collect(&core.policy, now);
+                policy.est_exec = core.stats.est_exec();
+                let out = q.collect(&policy, now);
                 if out.0.is_empty() && out.1.is_empty() {
                     // Lost a race (another collect drained the queue
                     // between wait and here); re-check from the top.
                     continue;
                 }
+                core.stats.queue_depth.set(q.n_queued as i64);
+                core.stats.queue_bytes.set(q.queued_bytes as i64);
                 break out;
             }
         };
@@ -445,26 +461,47 @@ pub(crate) fn run(core: Arc<SchedulerCore>) {
         // session and must get its admission reservation back.
         let now = core.clock.now();
         for p in shed {
-            core.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            core.stats.shed_deadline.inc();
+            core.stats.spans_shed.inc();
+            p.slot.lane.shed_deadline.inc();
             let Pending {
                 slot,
                 reply,
                 enqueued,
                 ..
             } = p;
+            let queued_for = now.saturating_sub(enqueued);
+            core.stats.recorder.record(Event::new(
+                nanos(now),
+                "serve.shed.deadline",
+                Arc::as_ptr(&slot) as usize as u64,
+                nanos(queued_for),
+                0,
+            ));
             drop(slot);
-            let _ = reply.send(Err(ServeError::DeadlineExceeded {
-                queued_for: now.saturating_sub(enqueued),
-            }));
+            let _ = reply.send(Err(ServeError::DeadlineExceeded { queued_for }));
         }
         if batch.is_empty() {
             continue;
         }
 
+        // Batch wall time (the EWMA's input) starts *before* the chaos
+        // delay: an injected slow batch must look slow to the calibration,
+        // exactly as a genuinely slow device would.
+        let batch_len = batch.len();
+        let t_batch0 = core.clock.now();
+
         // Chaos: simulate a slow batch (no locks held while sleeping).
         #[cfg(feature = "chaos")]
         if let Some(chaos) = core.chaos.get() {
             if let Some(delay) = chaos.fire_delay(CHAOS_BATCH_DELAY) {
+                core.stats.recorder.record(Event::new(
+                    nanos(t_batch0),
+                    "chaos.batch_delay",
+                    0,
+                    nanos(delay),
+                    batch_len as u64,
+                ));
                 std::thread::sleep(delay);
             }
         }
@@ -476,13 +513,32 @@ pub(crate) fn run(core: Arc<SchedulerCore>) {
         // and keep serving. (`execute_batch` only sends replies in its
         // final loop, after all fallible work, so no member has been
         // answered twice.)
-        let replies: Vec<Sender<Result<Vec<Vec<f32>>, ServeError>>> =
-            batch.iter().map(|p| p.reply.clone()).collect();
+        type ReplyMeta = (Sender<Result<Vec<Vec<f32>>, ServeError>>, Duration, u64);
+        let replies: Vec<ReplyMeta> = batch
+            .iter()
+            .map(|p| (p.reply.clone(), p.enqueued, slot_ptr(p) as u64))
+            .collect();
         if catch_unwind(AssertUnwindSafe(|| execute_batch(&core, batch))).is_err() {
-            for reply in replies {
+            // Freeze the flight recorder first: the events leading up to
+            // the panic are the post-mortem.
+            core.stats
+                .recorder
+                .dump_on_panic("scheduler batch execution panicked");
+            let t_panic = nanos(core.clock.now());
+            for (reply, enqueued, key) in replies {
+                core.stats.spans_panicked.inc();
+                core.stats.recorder.record(Event::new(
+                    t_panic,
+                    "serve.reply.panicked",
+                    key,
+                    nanos(enqueued),
+                    0,
+                ));
                 let _ = reply.send(Err(ServeError::ExecutionPanicked));
             }
         }
+        core.stats
+            .observe_batch(core.clock.now().saturating_sub(t_batch0), batch_len);
     }
 }
 
@@ -498,13 +554,16 @@ fn slot_ptr(p: &Pending) -> usize {
 
 fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     let stats = &core.stats;
-    stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats
-        .requests
-        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-    stats
-        .max_batch
-        .fetch_max(batch.len() as u64, Ordering::Relaxed);
+    // Batch assembled: the queue stage of every member's span closes here.
+    let t_assembled = core.clock.now();
+    for p in &batch {
+        stats
+            .stage_queue
+            .record(nanos(t_assembled.saturating_sub(p.enqueued)));
+    }
+    stats.batches.inc();
+    stats.requests.add(batch.len() as u64);
+    stats.max_batch.record_max(batch.len() as i64);
 
     // Group by (context, layer, reused prefix): members share one plan.
     let mut groups: HashMap<GroupKey, Vec<usize>> = HashMap::new();
@@ -525,10 +584,8 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
     for idxs in groups.values() {
         let leader = &batch[idxs[0]];
         let plan = guards[&slot_ptr(leader)].plan(leader.layer);
-        stats.plans_computed.fetch_add(1, Ordering::Relaxed);
-        stats
-            .shared_plan_requests
-            .fetch_add(idxs.len() as u64 - 1, Ordering::Relaxed);
+        stats.plans_computed.inc();
+        stats.shared_plan_requests.add(idxs.len() as u64 - 1);
         for &i in idxs {
             plans[i] = Some(plan.clone());
         }
@@ -537,6 +594,13 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
         if let Some(g) = guards.get_mut(&slot_ptr(p)) {
             g.note_plan(plans[i].as_ref().expect("every request was grouped"));
         }
+    }
+    // Plan stage: session locking + grouping + optimizer, amortized over
+    // the batch — recorded once per member so stage counts reconcile.
+    let t_planned = core.clock.now();
+    let plan_nanos = nanos(t_planned.saturating_sub(t_assembled));
+    for _ in 0..batch.len() {
+        stats.stage_plan.record(plan_nanos);
     }
 
     // Execute every (request, head) pair on the pool. Each task borrows
@@ -573,18 +637,40 @@ fn execute_batch(core: &SchedulerCore, batch: Vec<Pending>) {
         });
     }
     drop(guards);
+    // Exec stage: the pool scope, shared by every member.
+    let t_executed = core.clock.now();
+    let exec_nanos = nanos(t_executed.saturating_sub(t_planned));
+    for _ in 0..batch.len() {
+        stats.stage_exec.record(exec_nanos);
+    }
 
     for (p, out) in batch.into_iter().zip(outputs) {
         let result: Vec<Vec<f32>> = out
             .into_iter()
             .map(|o| o.expect("head task filled its slot"))
             .collect();
-        let Pending { slot, reply, .. } = p;
+        let key = slot_ptr(&p) as u64;
+        p.slot.lane.executed.inc();
+        let Pending {
+            slot,
+            reply,
+            enqueued,
+            ..
+        } = p;
         // Release the slot *before* replying: a caller that receives this
         // reply may immediately `close` the session and expect its
         // admission reservation back — the scheduler must not keep the
         // slot (and thus the reservation) alive past the reply.
         drop(slot);
+        // Span closes: enqueue → reply, the end-to-end number the bench
+        // reconciles against its own measurements.
+        let t_reply = core.clock.now();
+        let total = nanos(t_reply.saturating_sub(enqueued));
+        stats.stage_total.record(total);
+        stats.spans_executed.inc();
+        stats
+            .recorder
+            .record(Event::new(nanos(t_reply), "serve.reply.ok", key, total, 0));
         // A dropped receiver means the caller gave up; nothing to do.
         let _ = reply.send(Ok(result));
     }
@@ -610,6 +696,7 @@ mod tests {
                 covered_tokens: usize::MAX,
                 guards: Vec::new(),
             }),
+            lane: LaneCounters::default(),
         })
     }
 

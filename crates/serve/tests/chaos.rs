@@ -216,3 +216,180 @@ fn overload_with_injected_faults_degrades_gracefully() {
     engine.close(sid).unwrap();
     assert_eq!(db.gpu().in_use(), 0);
 }
+
+/// An injected worker panic freezes a flight-recorder dump: the black
+/// box is retrievable from [`TelemetrySnapshot::last_panic_dump`], names
+/// the failure, and carries the ring's recent events for context. The
+/// panicked request's span closes as `panicked`, and the ledger still
+/// balances.
+#[test]
+fn injected_panic_freezes_a_flight_recorder_dump() {
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeConfig {
+            // Dedicated pool: the injected panic must not leak into the
+            // process-global pool other tests share.
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+    let kv = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_kv_heads];
+    let (sid, _) = engine.admit(&[2, 4, 6]).unwrap();
+    engine.update(sid, &queries, &kv, &kv, 0).unwrap();
+
+    // One clean request first, so the ring holds a reply event the dump
+    // can show as context.
+    engine.attention(sid, &queries, 0).unwrap();
+    assert_eq!(engine.telemetry().last_panic_dump, None);
+
+    let chaos = Chaos::new(0xB1AC_B0);
+    chaos.arm_limited(CHAOS_TASK_PANIC, 1.0, 1);
+    engine.inject_chaos(Arc::clone(&chaos));
+    match engine.attention(sid, &queries, 0) {
+        Err(ServeError::ExecutionPanicked) => {}
+        other => panic!("expected ExecutionPanicked, got {other:?}"),
+    }
+
+    let t = engine.telemetry();
+    assert_eq!(t.spans.panicked, 1);
+    assert_eq!(t.spans.opened, t.spans.closed(), "ledger balances");
+    assert_eq!(
+        t.spans.executed + t.spans.panicked,
+        t.stats.requests,
+        "the panicked request still counts as dispatched"
+    );
+    let dump = t.last_panic_dump.expect("panic must freeze a dump");
+    assert!(
+        dump.contains("scheduler batch execution panicked"),
+        "dump names the failure: {dump}"
+    );
+    if alaya_telemetry::enabled() {
+        assert!(
+            dump.contains("serve.reply.ok"),
+            "dump carries the pre-panic ring context: {dump}"
+        );
+    }
+
+    // The failpoint exhausted: the same session serves again, and the
+    // frozen dump survives later healthy traffic.
+    let out = engine.attention(sid, &queries, 0).unwrap();
+    assert_eq!(out.len(), model_cfg.n_q_heads);
+    assert!(engine.telemetry().last_panic_dump.is_some());
+    engine.close(sid).unwrap();
+    assert_eq!(db.gpu().in_use(), 0);
+}
+
+/// EWMA calibration: with every batch slowed by an armed delay, the
+/// scheduler's execution estimate converges from its static seed to the
+/// *observed* per-batch wall time, and every `Overloaded` retry hint
+/// handed out afterwards reflects the injected latency rather than the
+/// stale cost model.
+#[test]
+fn retry_hints_converge_toward_observed_batch_latency() {
+    const CALIBRATION_BATCHES: usize = 16;
+    const CALLERS: usize = 6;
+    const MAX_QUEUE: usize = 2;
+    const DELAY: Duration = Duration::from_millis(4);
+
+    let model_cfg = ModelConfig::tiny();
+    let db = Arc::new(Db::new(DbConfig::for_tests(model_cfg.clone())));
+    let engine = ServeEngine::with_options(
+        Arc::clone(&db),
+        ServeConfig {
+            threads: 1,
+            dispatch_window: Some(Duration::from_millis(50)),
+            max_queue_requests: MAX_QUEUE,
+            ..Default::default()
+        },
+    );
+    let chaos = Chaos::new(0xE3A_CA1B);
+    chaos.arm_delay(CHAOS_BATCH_DELAY, 1.0, DELAY);
+    engine.inject_chaos(Arc::clone(&chaos));
+
+    let queries = vec![vec![1.0; model_cfg.head_dim]; model_cfg.n_q_heads];
+    let kv = vec![vec![0.5; model_cfg.head_dim]; model_cfg.n_kv_heads];
+
+    // Phase 1 — serial calibration: every dispatched batch takes at
+    // least DELAY, so the EWMA (seeded from the default cost model's
+    // `est_exec` = zero) must land at or above it.
+    let (sid, _) = engine.admit(&[3, 1, 4]).unwrap();
+    engine.update(sid, &queries, &kv, &kv, 0).unwrap();
+    for _ in 0..CALIBRATION_BATCHES {
+        engine.attention(sid, &queries, 0).unwrap();
+    }
+    engine.close(sid).unwrap();
+
+    let calibrated = engine.calibrated_est_exec();
+    assert!(
+        calibrated >= DELAY,
+        "estimate {calibrated:?} must cover the injected {DELAY:?}"
+    );
+    if alaya_telemetry::enabled() {
+        // The estimate tracks the audited distribution: within a factor
+        // of two of the observed per-batch p50 (all observations are
+        // DELAY + a tiny-model execution).
+        let p50 = engine.telemetry().stages.batch_exec.p50;
+        assert!(
+            calibrated <= p50 * 2 && calibrated * 2 >= p50,
+            "estimate {calibrated:?} strayed from observed p50 {p50:?}"
+        );
+    }
+
+    // Phase 2 — overload: a synchronized burst into the small queue.
+    // Every hint handed back was computed from the calibrated estimate,
+    // so it must reflect the injected delay (the static model would have
+    // said "retry in 1ms" forever).
+    let barrier = Barrier::new(CALLERS);
+    let hints: Vec<Duration> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..CALLERS {
+            let engine = &engine;
+            let barrier = &barrier;
+            let queries = &queries;
+            let kv = &kv;
+            handles.push(s.spawn(move || {
+                let (sid, _) = engine.admit(&[c as u32, 2, 7]).unwrap();
+                engine.update(sid, queries, kv, kv, 0).unwrap();
+                barrier.wait();
+                let mut hints = Vec::new();
+                loop {
+                    match engine.attention(sid, queries, 0) {
+                        Ok(_) => break,
+                        Err(ServeError::Overloaded {
+                            retry_after_hint, ..
+                        }) => {
+                            hints.push(retry_after_hint);
+                            std::thread::sleep(retry_after_hint.min(Duration::from_millis(5)));
+                        }
+                        Err(other) => panic!("unexpected error under burst: {other:?}"),
+                    }
+                }
+                engine.close(sid).unwrap();
+                hints
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    assert!(
+        !hints.is_empty(),
+        "{CALLERS} callers into a {MAX_QUEUE}-slot queue must get hints"
+    );
+    // The EWMA's integer shifts can truncate a few nanoseconds under the
+    // injected floor; a microsecond of slack keeps the assert honest.
+    let floor = DELAY - Duration::from_micros(1);
+    for hint in &hints {
+        assert!(
+            *hint >= floor,
+            "hint {hint:?} forgot the injected {DELAY:?} — calibration regressed"
+        );
+    }
+    assert_eq!(engine.n_sessions(), 0);
+    assert_eq!(db.gpu().in_use(), 0);
+}

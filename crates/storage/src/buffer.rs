@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use alaya_telemetry::{Counter, Registry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::device::BlockDevice;
@@ -68,31 +69,41 @@ impl BlockKind {
     }
 }
 
-/// Hit/miss/eviction counters.
+/// Hit/miss/eviction counters — telemetry cells (same relaxed-atomic
+/// semantics as the bespoke atomics they replaced), registerable into an
+/// engine's metric registry via [`BufferStats::register_into`].
 #[derive(Debug, Default)]
 pub struct BufferStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    writebacks: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    writebacks: Arc<Counter>,
 }
 
 impl BufferStats {
     /// Cache hits.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
     /// Cache misses (device reads).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
     /// Frames evicted.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
     /// Dirty frames written back.
     pub fn writebacks(&self) -> u64 {
-        self.writebacks.load(Ordering::Relaxed)
+        self.writebacks.get()
+    }
+    /// Attaches these cells to `registry` under `storage.buffer.*`. First
+    /// registration wins; the getters read the same cells either way.
+    pub fn register_into(&self, registry: &Registry) {
+        registry.register_counter("storage.buffer.hits", &self.hits);
+        registry.register_counter("storage.buffer.misses", &self.misses);
+        registry.register_counter("storage.buffer.evictions", &self.evictions);
+        registry.register_counter("storage.buffer.writebacks", &self.writebacks);
     }
     /// Hit ratio in `[0, 1]`; 0 when no accesses.
     pub fn hit_ratio(&self) -> f64 {
@@ -173,13 +184,13 @@ impl BufferManager {
         if let Some(frame) = table.get(&(file, block)) {
             frame.pins.fetch_add(1, Ordering::AcqRel);
             self.touch(frame);
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.inc();
             return Ok(PageGuard {
                 mgr: Arc::clone(self),
                 frame: Arc::clone(frame),
             });
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.inc();
 
         if table.len() >= self.capacity {
             self.evict_one(&mut table)?;
@@ -225,9 +236,9 @@ impl BufferManager {
         if frame.dirty.load(Ordering::Acquire) {
             let device = self.device(frame.file);
             device.write_block(frame.block, &frame.data.read())?;
-            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            self.stats.writebacks.inc();
         }
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        self.stats.evictions.inc();
         Ok(())
     }
 
@@ -238,7 +249,7 @@ impl BufferManager {
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 let device = self.device(frame.file);
                 device.write_block(frame.block, &frame.data.read())?;
-                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                self.stats.writebacks.inc();
             }
         }
         for dev in self.devices.read().iter() {
